@@ -1,0 +1,240 @@
+package wp2p_test
+
+// Benchmarks regenerating every data figure in the paper's evaluation.
+// Each benchmark runs the corresponding experiment scenario at a reduced
+// scale and reports the figure's headline quantities via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the reproduced numbers alongside the
+// usual timing. Runs are deterministic for a given scale.
+//
+// Figure index (see DESIGN.md §4 for the full mapping):
+//
+//	Fig 2(a)  BenchmarkFig2aBiVsUniTCP
+//	Fig 2(b,c) BenchmarkFig2bcPacketsAfterDrop
+//	Fig 3(a)  BenchmarkFig3aUploadCapWired
+//	Fig 3(b)  BenchmarkFig3bUploadCapWireless
+//	Fig 3(c)  BenchmarkFig3cIncentiveMobility
+//	Fig 4(a)  BenchmarkFig4aServerMobility
+//	Fig 4(b,c) BenchmarkFig4bcRarestPlayability
+//	Fig 8(a)  BenchmarkFig8aAgeBasedManipulation
+//	Fig 8(b)  BenchmarkFig8bIdentityRetention
+//	Fig 8(c)  BenchmarkFig8cLIHD
+//	Fig 9(a,b) BenchmarkFig9abMobilityAwareFetch
+//	Fig 9(c)  BenchmarkFig9cRoleReversal
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/experiments"
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+// benchScale keeps each iteration around a second of wall time.
+const benchScale = 0.05
+
+func BenchmarkFig2aBiVsUniTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2aBiVsUniTCP(experiments.Fig2aConfig{
+			Duration: 45 * time.Second, Runs: 2,
+		})
+		bi, uni := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(bi[0], "bi-KBps@0")
+		b.ReportMetric(uni[0], "uni-KBps@0")
+		last := len(bi) - 1
+		b.ReportMetric(bi[last], "bi-KBps@2e-5")
+		b.ReportMetric(uni[last], "uni-KBps@2e-5")
+	}
+}
+
+func BenchmarkFig2bcPacketsAfterDrop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2bcPacketsAfterDrop(experiments.Fig2bcConfig{})
+		// Series: uni packets, uni drops, bi packets, bi drops.
+		uniMean := mean(res.Series[0].Y)
+		biMean := mean(res.Series[2].Y)
+		b.ReportMetric(uniMean, "uni-pkts-on-leg")
+		b.ReportMetric(biMean, "bi-pkts-on-leg")
+	}
+}
+
+func BenchmarkFig3aUploadCapWired(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3aUploadCapWired(experiments.Fig3Config{
+			Scale: benchScale, Runs: 1,
+			CapFractions: []float64{0, 0.4, 0.9},
+		})
+		y := res.Series[0].Y
+		b.ReportMetric(y[0], "KBps@0%")
+		b.ReportMetric(y[len(y)-1], "KBps@90%")
+	}
+}
+
+func BenchmarkFig3bUploadCapWireless(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3bUploadCapWireless(experiments.Fig3Config{
+			Scale: benchScale, Runs: 1,
+			CapFractions: []float64{0, 0.2, 0.9},
+		})
+		y := res.Series[0].Y
+		b.ReportMetric(y[0], "KBps@0%")
+		b.ReportMetric(y[1], "KBps@20%")
+		b.ReportMetric(y[len(y)-1], "KBps@90%")
+	}
+}
+
+func BenchmarkFig3cIncentiveMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3cIncentiveMobility(experiments.Fig3cConfig{Scale: benchScale})
+		// Series order: noMob/up, noMob/noUp, mob/up, mob/noUp.
+		b.ReportMetric(last(res.Series[0].Y), "MB-noMob-up")
+		b.ReportMetric(last(res.Series[1].Y), "MB-noMob-noUp")
+		b.ReportMetric(last(res.Series[2].Y), "MB-mob-up")
+		b.ReportMetric(last(res.Series[3].Y), "MB-mob-noUp")
+	}
+}
+
+func BenchmarkFig4aServerMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4aServerMobility(experiments.Fig4aConfig{
+			Scale:   benchScale,
+			Periods: []time.Duration{0, time.Minute, 30 * time.Second},
+		})
+		one, all := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(one[0], "KBps-static")
+		b.ReportMetric(one[len(one)-1], "KBps-one-mobile-fast")
+		b.ReportMetric(all[len(all)-1], "KBps-all-mobile-fast")
+	}
+}
+
+func BenchmarkFig4bcRarestPlayability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4bcRarestPlayability(experiments.FigPlayConfig{
+			Scale: benchScale, Runs: 2,
+		})
+		// y[5] is playable% at 60% downloaded; y[8] at 90%.
+		small := res.Series[0].Y
+		b.ReportMetric(small[5], "playable%@60%")
+		b.ReportMetric(small[8], "playable%@90%")
+	}
+}
+
+func BenchmarkFig8aAgeBasedManipulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8aAgeBasedManipulation(experiments.Fig8aConfig{
+			Scale: benchScale, Runs: 2, BERs: []float64{5e-6, 1.5e-5},
+		})
+		def, wp := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(def[len(def)-1], "default-KBps@1.5e-5")
+		b.ReportMetric(wp[len(wp)-1], "wp2p-KBps@1.5e-5")
+	}
+}
+
+func BenchmarkFig8bIdentityRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8bIdentityRetention(experiments.Fig8bConfig{Scale: benchScale})
+		def, wp := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(last(def), "default-MB")
+		b.ReportMetric(last(wp), "wp2p-MB")
+	}
+}
+
+func BenchmarkFig8cLIHD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8cLIHD(experiments.Fig8cConfig{
+			Scale: benchScale, Runs: 1,
+			Bandwidths: []netem.Rate{50 * netem.KBps, 200 * netem.KBps},
+		})
+		def, wp := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(def[0], "default-KBps@50")
+		b.ReportMetric(wp[0], "wp2p-KBps@50")
+		b.ReportMetric(def[1], "default-KBps@200")
+		b.ReportMetric(wp[1], "wp2p-KBps@200")
+	}
+}
+
+func BenchmarkFig9abMobilityAwareFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9abMobilityAwareFetch(experiments.FigPlayConfig{
+			Scale: benchScale, Runs: 2, FileSizes: []int64{5 * 1024 * 1024},
+		})
+		def, mf := res.Series[0].Y, res.Series[1].Y
+		b.ReportMetric(def[4], "default-playable%@50%")
+		b.ReportMetric(mf[4], "mf-playable%@50%")
+	}
+}
+
+func BenchmarkFig9cRoleReversal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9cRoleReversal(experiments.Fig9cConfig{
+			Scale: benchScale, Periods: []time.Duration{2 * time.Minute},
+		})
+		b.ReportMetric(res.Series[0].Y[0], "default-upload-KBps")
+		b.ReportMetric(res.Series[1].Y[0], "wp2p-upload-KBps")
+	}
+}
+
+// BenchmarkAblationWP2P measures the extension study: each wP2P component
+// alone versus all together, under loss and handoffs.
+func BenchmarkAblationWP2P(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationWP2P(experiments.AblationConfig{Scale: benchScale})
+		mb := res.Series[0].Y
+		b.ReportMetric(mb[0], "default-MB")
+		b.ReportMetric(mb[len(mb)-1], "full-wp2p-MB")
+		b.ReportMetric(res.Series[1].Y[len(mb)-1], "full-wp2p-playable%")
+	}
+}
+
+// BenchmarkExtSeedLIHD measures the paper's future-work extension: LIHD
+// protecting a foreground download while the mobile host seeds.
+func BenchmarkExtSeedLIHD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ExtSeedLIHD(experiments.SeedLIHDConfig{Scale: benchScale})
+		fg := res.Series[0].Y
+		b.ReportMetric(fg[0], "fg-KBps-uncapped-seed")
+		b.ReportMetric(fg[1], "fg-KBps-no-seed")
+		b.ReportMetric(fg[2], "fg-KBps-lihd-seed")
+	}
+}
+
+// BenchmarkExtEd2kIdentity measures the §3.7 cross-protocol claim on the
+// eDonkey-style network: hash retention vs regeneration under handoffs.
+func BenchmarkExtEd2kIdentity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ExtEd2kIdentity(experiments.Ed2kConfig{Scale: benchScale, Runs: 1})
+		b.ReportMetric(last(res.Series[0].Y), "newhash-MB")
+		b.ReportMetric(last(res.Series[1].Y), "retained-MB")
+	}
+}
+
+// BenchmarkExtGnutellaServerMobility measures §3.7's second-generation
+// claim: responder mobility versus a fixed searcher's throughput.
+func BenchmarkExtGnutellaServerMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ExtGnutellaServerMobility(experiments.GnutellaConfig{
+			Scale: benchScale, Runs: 1,
+			Periods: []time.Duration{0, 30 * time.Second},
+		})
+		y := res.Series[0].Y
+		b.ReportMetric(y[0], "static-KBps")
+		b.ReportMetric(y[len(y)-1], "churn-KBps")
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

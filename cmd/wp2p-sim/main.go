@@ -1,0 +1,59 @@
+// Command wp2p-sim runs individual reproduction experiments from the
+// paper's evaluation and prints their figures as text tables.
+//
+// Usage:
+//
+//	wp2p-sim [-scale 1.0] [-list] [experiment ...]
+//
+// With no experiment arguments every figure is run in order. Scale < 1
+// shrinks file sizes and horizons proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-faithful sizes, smaller = faster")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wp2p-sim [-scale f] [-list] [experiment ...]\n\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	reg := experiments.Registry(*scale)
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	exit := 0
+	for _, id := range ids {
+		run, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: unknown experiment %q (try -list)\n", id)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		res := run()
+		fmt.Println(res.Table())
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

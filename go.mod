@@ -1,0 +1,3 @@
+module github.com/wp2p/wp2p
+
+go 1.22

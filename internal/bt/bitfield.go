@@ -1,0 +1,95 @@
+package bt
+
+import "fmt"
+
+// Bitfield tracks piece possession. The zero value is unusable; create
+// bitfields with NewBitfield.
+type Bitfield struct {
+	bits []uint64
+	n    int // number of pieces
+	set  int // population count, maintained incrementally
+}
+
+// NewBitfield returns an empty bitfield over n pieces.
+func NewBitfield(n int) *Bitfield {
+	if n < 0 {
+		panic("bt: negative bitfield size")
+	}
+	return &Bitfield{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of pieces the bitfield covers.
+func (b *Bitfield) Len() int { return b.n }
+
+// Has reports whether piece i is set. Out-of-range indexes are false.
+func (b *Bitfield) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set marks piece i present. Out-of-range indexes panic.
+func (b *Bitfield) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bt: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if b.bits[w]&m == 0 {
+		b.bits[w] |= m
+		b.set++
+	}
+}
+
+// Clear marks piece i absent.
+func (b *Bitfield) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	w, m := i/64, uint64(1)<<uint(i%64)
+	if b.bits[w]&m != 0 {
+		b.bits[w] &^= m
+		b.set--
+	}
+}
+
+// Count returns the number of set pieces.
+func (b *Bitfield) Count() int { return b.set }
+
+// Complete reports whether every piece is set.
+func (b *Bitfield) Complete() bool { return b.set == b.n }
+
+// Clone returns an independent copy.
+func (b *Bitfield) Clone() *Bitfield {
+	c := &Bitfield{bits: make([]uint64, len(b.bits)), n: b.n, set: b.set}
+	copy(c.bits, b.bits)
+	return c
+}
+
+// SetAll marks every piece present.
+func (b *Bitfield) SetAll() {
+	for i := range b.bits {
+		b.bits[i] = ^uint64(0)
+	}
+	if rem := b.n % 64; rem != 0 && len(b.bits) > 0 {
+		b.bits[len(b.bits)-1] = (1 << uint(rem)) - 1
+	}
+	b.set = b.n
+}
+
+// PrefixLen returns the length of the contiguous set prefix — the quantity
+// behind "playable percentage": media plays only as far as in-order data
+// extends.
+func (b *Bitfield) PrefixLen() int {
+	for i := 0; i < b.n; i++ {
+		if !b.Has(i) {
+			return i
+		}
+	}
+	return b.n
+}
+
+// String renders the bitfield compactly for debugging.
+func (b *Bitfield) String() string {
+	return fmt.Sprintf("Bitfield{%d/%d}", b.set, b.n)
+}

@@ -1,0 +1,98 @@
+package bt
+
+import "sort"
+
+// choker implements tit-for-tat: every choke interval it unchokes the
+// interested peers that serve us best (as a leech) or that we can push data
+// to fastest (as a seed), plus one rotating optimistic unchoke that lets
+// newcomers bootstrap. Ranking falls back to the per-peer-id credit ledger
+// when rates are cold, which is how a reconnecting known identity regains
+// service quickly and an unknown identity starts from nothing.
+type choker struct {
+	client     *Client
+	optimistic *peerConn
+	ticks      int
+}
+
+func (ck *choker) run() {
+	c := ck.client
+	now := c.engine.Now()
+	ck.ticks++
+
+	interested := make([]*peerConn, 0, len(c.peers))
+	for _, p := range c.peers {
+		if p.peerInterested {
+			interested = append(interested, p)
+		}
+	}
+
+	// Rotate the optimistic unchoke every OptimisticInterval.
+	rotate := ck.ticks%max(1, int(c.cfg.OptimisticInterval/c.cfg.ChokeInterval)) == 0
+	if ck.optimistic != nil && (ck.optimistic.closed || !ck.optimistic.peerInterested) {
+		ck.optimistic = nil
+	}
+	if rotate || ck.optimistic == nil {
+		ck.optimistic = ck.pickOptimistic(interested)
+	}
+
+	seedMode := c.have.Complete()
+	type ranked struct {
+		p     *peerConn
+		score float64
+	}
+	rs := make([]ranked, 0, len(interested))
+	for _, p := range interested {
+		var score float64
+		if seedMode {
+			// Seeds rank by how fast they can push to each peer.
+			score = p.upRate.Rate(now)
+		} else {
+			// Leeches rank by what each peer contributes: the short-window
+			// rate plus the decayed per-peer-id standing, so a known
+			// identity that just reconnected still outranks a stranger —
+			// the hook identity retention (IA) exploits and identity loss
+			// (paper §3.4) forfeits.
+			score = p.downRate.Rate(now) + c.ledger.Rate(p.id, now)
+		}
+		rs = append(rs, ranked{p: p, score: score})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
+
+	slots := c.cfg.UnchokeSlots
+	unchoked := make(map[*peerConn]bool, slots)
+	if ck.optimistic != nil {
+		unchoked[ck.optimistic] = true
+	}
+	for _, r := range rs {
+		if len(unchoked) >= slots {
+			break
+		}
+		unchoked[r.p] = true
+	}
+
+	for _, p := range c.peers {
+		p.setChoke(!unchoked[p])
+	}
+}
+
+// pickOptimistic chooses a random interested peer that is currently choked,
+// favouring nobody — the swarm's bootstrap mechanism.
+func (ck *choker) pickOptimistic(interested []*peerConn) *peerConn {
+	candidates := make([]*peerConn, 0, len(interested))
+	for _, p := range interested {
+		if p.amChoking {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[ck.client.engine.Rand().Intn(len(candidates))]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,859 @@
+package bt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/metrics"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/tcp"
+)
+
+// Config parameterizes a Client. Stack, Torrent, and Tracker are required;
+// everything else has sensible defaults.
+type Config struct {
+	Stack   *tcp.Stack
+	Torrent *MetaInfo
+	Tracker *Tracker
+
+	// PeerID is the identity announced to tracker and peers; generated if
+	// empty.
+	PeerID PeerID
+	// Port is the listening port (default 6881).
+	Port uint16
+	// Picker selects pieces to fetch (default RarestFirst, the classic
+	// client behaviour).
+	Picker Picker
+	// UploadLimiter caps upload bandwidth; may be shared across clients on
+	// one host. Nil means unlimited.
+	UploadLimiter *Limiter
+	// Ledger is the per-peer-id credit history; preserved across Restart.
+	// One is created if nil.
+	Ledger *CreditLedger
+
+	// Seed starts the client with the complete file.
+	Seed bool
+	// Corrupt makes every block this client serves fail the downloader's
+	// piece verification — a faulty or malicious peer, for failure
+	// injection. Downloaders discard tainted pieces and ban the sender.
+	Corrupt bool
+	// InitialHave starts the client with a partial piece map (cloned).
+	InitialHave *Bitfield
+
+	MaxPeers           int           // connection cap (default 20)
+	PipelineDepth      int           // outstanding block requests per peer (default 8)
+	UnchokeSlots       int           // simultaneous unchokes incl. optimistic (default 4)
+	ChokeInterval      time.Duration // choker cadence (default 10s)
+	OptimisticInterval time.Duration // optimistic unchoke rotation (default 30s)
+	RequestTimeout     time.Duration // re-request stalled blocks (default 45s)
+	RateWindow         time.Duration // rate estimation window (default 20s)
+	DialBackoff        time.Duration // per-address cool-down after a failed dial (default 45s)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Port == 0 {
+		out.Port = 6881
+	}
+	if out.Picker == nil {
+		out.Picker = RarestFirst{}
+	}
+	if out.MaxPeers == 0 {
+		out.MaxPeers = 20
+	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = 8
+	}
+	if out.UnchokeSlots == 0 {
+		out.UnchokeSlots = 4
+	}
+	if out.ChokeInterval == 0 {
+		out.ChokeInterval = 10 * time.Second
+	}
+	if out.OptimisticInterval == 0 {
+		out.OptimisticInterval = 30 * time.Second
+	}
+	if out.RequestTimeout == 0 {
+		out.RequestTimeout = 45 * time.Second
+	}
+	if out.RateWindow == 0 {
+		out.RateWindow = metrics.DefaultRateWindow
+	}
+	if out.DialBackoff == 0 {
+		out.DialBackoff = 45 * time.Second
+	}
+	return out
+}
+
+// pieceProgress tracks block arrival for one in-flight piece.
+type pieceProgress struct {
+	piece    int
+	received *Bitfield // block granularity
+	// tainted is set if any block came from a peer that serves corrupt
+	// data; the piece will fail verification when complete.
+	tainted bool
+	// contributors are the peer-ids that supplied blocks. A failed check
+	// cannot be attributed when several peers contributed, so the piece is
+	// re-fetched exclusively from one peer; a second failure is then
+	// definitive.
+	contributors map[PeerID]bool
+	// exclusive, when set, restricts all block requests for this piece to
+	// one peer-id (attribution mode after a hash failure).
+	exclusive PeerID
+}
+
+// Client is a BitTorrent peer: it announces to the tracker, maintains a
+// swarm of wire connections, fetches pieces through its Picker, serves
+// requests subject to tit-for-tat choking and the upload limiter, and seeds
+// after completion.
+type Client struct {
+	cfg     Config
+	engine  *sim.Engine
+	stack   *tcp.Stack
+	torrent *MetaInfo
+	tracker *Tracker
+	peerID  PeerID
+	picker  Picker
+	ledger  *CreditLedger
+
+	have    *Bitfield
+	pending *Bitfield // pieces currently active (being fetched)
+	avail   []int     // per-piece count over connected peers
+	active  []*pieceProgress
+	// requested maps each in-flight block to its requesters. Outside
+	// endgame every block has exactly one; in endgame the final blocks are
+	// requested from several peers and the losers are cancelled.
+	requested map[blockRef][]*peerConn
+
+	peers   []*peerConn
+	known   []PeerInfo         // insertion-ordered tracker knowledge
+	knownAt map[netem.Addr]int // addr → index in known
+	backoff map[netem.Addr]time.Duration
+	dialing int
+
+	// failedOnce marks pieces whose last verification failed; their next
+	// fetch runs in exclusive (single-source) attribution mode.
+	failedOnce map[int]bool
+	banned     map[PeerID]bool
+	hashFails  int
+
+	listener       *tcp.Listener
+	chokeTicker    *sim.Ticker
+	sweepTicker    *sim.Ticker
+	announceTicker *sim.Ticker
+	chk            choker
+
+	started     bool
+	stopped     bool
+	bytesHave   int64
+	downloaded  int64
+	uploaded    int64
+	downTotal   *metrics.RateEstimator
+	upTotal     *metrics.RateEstimator
+	completedAt time.Duration
+	restarts    int
+
+	// OnComplete fires once when the download finishes.
+	OnComplete func()
+	// OnPieceComplete fires for every verified piece.
+	OnPieceComplete func(piece int)
+}
+
+// NewClient builds a client; call Start to join the swarm.
+func NewClient(cfg Config) *Client {
+	if cfg.Stack == nil || cfg.Torrent == nil || cfg.Tracker == nil {
+		panic("bt: Config requires Stack, Torrent, and Tracker")
+	}
+	c := &Client{
+		cfg:         cfg.withDefaults(),
+		engine:      cfg.Stack.Engine(),
+		stack:       cfg.Stack,
+		torrent:     cfg.Torrent,
+		tracker:     cfg.Tracker,
+		completedAt: -1,
+	}
+	c.picker = c.cfg.Picker
+	c.peerID = c.cfg.PeerID
+	if c.peerID == "" {
+		c.peerID = NewPeerID(c.engine.Rand())
+	}
+	c.ledger = c.cfg.Ledger
+	if c.ledger == nil {
+		c.ledger = NewCreditLedger()
+	}
+	n := c.torrent.NumPieces()
+	c.have = NewBitfield(n)
+	c.pending = NewBitfield(n)
+	c.avail = make([]int, n)
+	c.requested = make(map[blockRef][]*peerConn)
+	c.failedOnce = make(map[int]bool)
+	c.banned = make(map[PeerID]bool)
+	c.knownAt = make(map[netem.Addr]int)
+	c.backoff = make(map[netem.Addr]time.Duration)
+	c.downTotal = metrics.NewRateEstimator(c.cfg.RateWindow)
+	c.upTotal = metrics.NewRateEstimator(c.cfg.RateWindow)
+	c.chk = choker{client: c}
+
+	switch {
+	case c.cfg.Seed:
+		c.have.SetAll()
+		c.bytesHave = c.torrent.Length
+		c.completedAt = 0
+	case c.cfg.InitialHave != nil:
+		c.have = c.cfg.InitialHave.Clone()
+		for i := 0; i < n; i++ {
+			if c.have.Has(i) {
+				c.bytesHave += int64(c.torrent.PieceSize(i))
+			}
+		}
+	}
+	return c
+}
+
+// --- accessors ---
+
+// PeerID returns the client's current identity.
+func (c *Client) PeerID() PeerID { return c.peerID }
+
+// Have returns a snapshot of the local piece map.
+func (c *Client) Have() *Bitfield { return c.have.Clone() }
+
+// Progress returns the downloaded fraction in [0, 1].
+func (c *Client) Progress() float64 {
+	return float64(c.bytesHave) / float64(c.torrent.Length)
+}
+
+// BytesHave returns verified payload bytes held.
+func (c *Client) BytesHave() int64 { return c.bytesHave }
+
+// Downloaded returns payload bytes received this run.
+func (c *Client) Downloaded() int64 { return c.downloaded }
+
+// Uploaded returns payload bytes served this run.
+func (c *Client) Uploaded() int64 { return c.uploaded }
+
+// DownloadRate returns the recent download rate in bytes/second.
+func (c *Client) DownloadRate() float64 { return c.downTotal.Rate(c.engine.Now()) }
+
+// UploadRate returns the recent upload rate in bytes/second.
+func (c *Client) UploadRate() float64 { return c.upTotal.Rate(c.engine.Now()) }
+
+// Complete reports whether the file is fully downloaded.
+func (c *Client) Complete() bool { return c.have.Complete() }
+
+// CompletedAt returns when the download finished, or -1.
+func (c *Client) CompletedAt() time.Duration { return c.completedAt }
+
+// NumPeers returns the number of live wire connections.
+func (c *Client) NumPeers() int { return len(c.peers) }
+
+// KnownPeers returns the tracker-learned peer directory — the list wP2P's
+// role reversal redials after a handoff.
+func (c *Client) KnownPeers() []PeerInfo {
+	out := make([]PeerInfo, len(c.known))
+	copy(out, c.known)
+	return out
+}
+
+// Ledger returns the client's credit ledger.
+func (c *Client) Ledger() *CreditLedger { return c.ledger }
+
+// Addr returns the client's current announce address.
+func (c *Client) Addr() netem.Addr { return c.stack.Addr(c.cfg.Port) }
+
+// Restarts counts task re-initiations.
+func (c *Client) Restarts() int { return c.restarts }
+
+// SetPicker replaces the piece-selection strategy (used by adaptive
+// fetchers).
+func (c *Client) SetPicker(p Picker) {
+	if p != nil {
+		c.picker = p
+	}
+}
+
+// --- lifecycle ---
+
+// Start joins the swarm: listen, announce, and begin the choke loop.
+func (c *Client) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.listener = c.stack.Listen(c.cfg.Port, c.onAccept)
+	c.chokeTicker = sim.NewTicker(c.engine, c.cfg.ChokeInterval, c.chk.run)
+	c.sweepTicker = sim.NewTicker(c.engine, c.cfg.RequestTimeout/3, c.sweep)
+	c.announceTicker = sim.NewTicker(c.engine, c.tracker.Interval(), func() {
+		c.announce(EventNone)
+	})
+	c.announce(EventStarted)
+}
+
+// Stop leaves the swarm and tears down all connections.
+func (c *Client) Stop() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.stopped = true
+	c.announce(EventStopped)
+	c.chokeTicker.Stop()
+	c.sweepTicker.Stop()
+	c.announceTicker.Stop()
+	c.listener.Close()
+	for _, p := range append([]*peerConn(nil), c.peers...) {
+		p.close()
+	}
+}
+
+// Restart re-initiates the task after an address change, as a restarted
+// client would: every connection is torn down and the tracker is
+// re-announced from the new address. If newIdentity is true a fresh peer-id
+// is generated — the default client's behaviour, which forfeits all credit
+// accumulated at remote peers. Verified pieces are kept (resume data
+// survives a restart).
+func (c *Client) Restart(newIdentity bool) {
+	if !c.started || c.stopped {
+		return
+	}
+	c.restarts++
+	if newIdentity {
+		c.peerID = NewPeerID(c.engine.Rand())
+	}
+	for _, p := range append([]*peerConn(nil), c.peers...) {
+		p.close()
+	}
+	c.announce(EventStarted)
+}
+
+// RedialKnown aggressively re-establishes connections to every known peer
+// address, clearing dial backoffs — wP2P's role-reversal primitive.
+func (c *Client) RedialKnown() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.backoff = make(map[netem.Addr]time.Duration)
+	c.maintainConnections()
+}
+
+// --- tracker interaction ---
+
+func (c *Client) announce(ev AnnounceEvent) {
+	req := AnnounceRequest{
+		InfoHash: c.torrent.InfoHash(),
+		PeerID:   c.peerID,
+		Addr:     c.Addr(),
+		Seed:     c.have.Complete(),
+		Event:    ev,
+	}
+	if ev == EventStopped {
+		c.tracker.Announce(req, nil)
+		return
+	}
+	c.tracker.Announce(req, func(resp AnnounceResponse) {
+		if c.stopped {
+			return
+		}
+		for _, pi := range resp.Peers {
+			c.addKnown(pi)
+		}
+		c.maintainConnections()
+	})
+}
+
+func (c *Client) addKnown(pi PeerInfo) {
+	if pi.ID == c.peerID {
+		return
+	}
+	if i, ok := c.knownAt[pi.Addr]; ok {
+		c.known[i] = pi
+		return
+	}
+	c.knownAt[pi.Addr] = len(c.known)
+	c.known = append(c.known, pi)
+}
+
+// --- connection management ---
+
+func (c *Client) maintainConnections() {
+	if c.stopped {
+		return
+	}
+	now := c.engine.Now()
+	connected := make(map[netem.Addr]bool, len(c.peers))
+	for _, p := range c.peers {
+		connected[p.addr] = true
+	}
+	self := c.Addr()
+	for _, pi := range c.known {
+		if len(c.peers)+c.dialing >= c.cfg.MaxPeers {
+			return
+		}
+		if pi.Addr == self || connected[pi.Addr] || c.banned[pi.ID] {
+			continue
+		}
+		if until, ok := c.backoff[pi.Addr]; ok && now < until {
+			continue
+		}
+		c.dial(pi)
+		connected[pi.Addr] = true
+	}
+}
+
+func (c *Client) dial(pi PeerInfo) {
+	c.dialing++
+	// Back the address off immediately; a completed handshake clears it.
+	c.backoff[pi.Addr] = c.engine.Now() + c.cfg.DialBackoff
+	conn := c.stack.Dial(pi.Addr)
+	p := newPeerConn(c, conn, pi.Addr, false)
+	pendingDial := true
+	settle := func() {
+		if pendingDial {
+			pendingDial = false
+			c.dialing--
+		}
+	}
+	conn.OnEstablished = func() {
+		settle()
+		if len(c.peers) >= c.cfg.MaxPeers {
+			p.close()
+			return
+		}
+		c.peers = append(c.peers, p)
+		p.sendHandshake()
+	}
+	prevClose := conn.OnClose
+	conn.OnClose = func(err error) {
+		settle() // dial may fail before ever establishing
+		if prevClose != nil {
+			prevClose(err)
+		}
+	}
+}
+
+func (c *Client) onAccept(conn *tcp.Conn) {
+	if c.stopped || len(c.peers) >= c.cfg.MaxPeers {
+		conn.Abort()
+		return
+	}
+	p := newPeerConn(c, conn, conn.RemoteAddr(), true)
+	c.peers = append(c.peers, p)
+	// Inbound: reply with our handshake only after seeing theirs (handled in
+	// handleHandshake).
+}
+
+// peerReady runs once a peer's handshake arrives: self-connections are
+// dropped and duplicate identities are resolved deterministically.
+//
+// Two live connections to the same peer-id happen in two ways. A
+// simultaneous dial-each-other race is settled by keeping the connection
+// initiated by the numerically smaller peer-id — both ends apply the same
+// rule, so exactly one connection survives. Two connections with the same
+// initiator mean the older one is a zombie (typically dying slowly by
+// timeout after the peer handed off); the fresh one replaces it, otherwise
+// a mobile peer reconnecting under its retained peer-id would be locked
+// out for the zombie's lifetime.
+func (c *Client) peerReady(p *peerConn) {
+	if p.id == c.peerID || c.banned[p.id] {
+		p.close()
+		return
+	}
+	initiator := func(q *peerConn) PeerID {
+		if q.inbound {
+			return q.id
+		}
+		return c.peerID
+	}
+	winner := c.peerID
+	if p.id < winner {
+		winner = p.id
+	}
+	for _, q := range append([]*peerConn(nil), c.peers...) {
+		if q == p || !q.gotHandshake || q.id != p.id {
+			continue
+		}
+		switch {
+		case initiator(p) == initiator(q):
+			q.close() // same direction: the older one is stale
+		case initiator(p) == winner:
+			q.close()
+		default:
+			p.close()
+			return
+		}
+	}
+	c.backoff[p.addr] = 0
+}
+
+func (c *Client) removePeer(p *peerConn) {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	c.returnRequests(p)
+	c.availReplace(p.remoteHas, nil)
+	for i, q := range c.peers {
+		if q == p {
+			c.peers = append(c.peers[:i], c.peers[i+1:]...)
+			break
+		}
+	}
+	if !c.stopped {
+		c.maintainConnections()
+	}
+}
+
+// --- availability ---
+
+func (c *Client) availAdd(piece, delta int) {
+	if piece >= 0 && piece < len(c.avail) {
+		c.avail[piece] += delta
+	}
+}
+
+// availReplace swaps a peer's contribution from old to new (either may be
+// nil).
+func (c *Client) availReplace(old, new_ *Bitfield) {
+	for i := range c.avail {
+		if old != nil && old.Has(i) {
+			c.avail[i]--
+		}
+		if new_ != nil && new_.Has(i) {
+			c.avail[i]++
+		}
+	}
+}
+
+// --- request scheduling ---
+
+// endgameMaxDup bounds how many peers race for one block in endgame.
+const endgameMaxDup = 3
+
+// fillRequests tops up the request pipeline toward peer p.
+func (c *Client) fillRequests(p *peerConn) {
+	if c.stopped || p.closed || p.peerChoking || !p.amInterested {
+		return
+	}
+	for len(p.requestsOut) < c.cfg.PipelineDepth {
+		piece, block := c.pickBlock(p)
+		if piece < 0 {
+			// Endgame: every missing block is already in flight somewhere.
+			// Racing the stragglers from this peer too avoids the classic
+			// last-blocks stall behind one slow or dying connection.
+			piece, block = c.pickEndgameBlock(p)
+			if piece < 0 {
+				return
+			}
+		}
+		ref := blockRef{piece, block}
+		c.requested[ref] = append(c.requested[ref], p)
+		p.request(piece, block)
+	}
+}
+
+// pickEndgameBlock chooses an in-flight block this peer could also serve,
+// preferring the least-contested one.
+func (c *Client) pickEndgameBlock(p *peerConn) (piece, block int) {
+	if c.have.Complete() {
+		return -1, -1
+	}
+	best := blockRef{-1, -1}
+	bestOwners := endgameMaxDup
+	for _, prog := range c.active {
+		if !p.remoteHas.Has(prog.piece) {
+			continue
+		}
+		if prog.exclusive != "" && prog.exclusive != p.id {
+			continue // attribution mode: no endgame racing
+		}
+		for b := 0; b < prog.received.Len(); b++ {
+			if prog.received.Has(b) {
+				continue
+			}
+			ref := blockRef{prog.piece, b}
+			if _, mine := p.requestsOut[ref]; mine {
+				continue
+			}
+			if n := len(c.requested[ref]); n < bestOwners {
+				best, bestOwners = ref, n
+			}
+		}
+	}
+	return best.piece, best.block
+}
+
+// pickBlock chooses the next block to fetch from p: first unfinished active
+// pieces (strict priority), then a fresh piece via the Picker.
+func (c *Client) pickBlock(p *peerConn) (piece, block int) {
+	for _, prog := range c.active {
+		if !p.remoteHas.Has(prog.piece) {
+			continue
+		}
+		if prog.exclusive != "" && prog.exclusive != p.id {
+			continue // attribution mode: single source only
+		}
+		if b := c.freeBlock(prog); b >= 0 {
+			return prog.piece, b
+		}
+	}
+	ctx := &PickContext{
+		Have:     c.have,
+		Pending:  c.pending,
+		PeerHas:  p.remoteHas,
+		Avail:    c.avail,
+		Progress: c.Progress(),
+		Rand:     c.engine.Rand(),
+	}
+	pc := c.picker.PickPiece(ctx)
+	if pc < 0 {
+		return -1, -1
+	}
+	prog := &pieceProgress{
+		piece:        pc,
+		received:     NewBitfield(c.torrent.NumBlocks(pc)),
+		contributors: make(map[PeerID]bool),
+	}
+	if c.failedOnce[pc] {
+		prog.exclusive = p.id
+	}
+	c.active = append(c.active, prog)
+	c.pending.Set(pc)
+	return pc, 0
+}
+
+// freeBlock returns an unreceived, unrequested block of prog, or -1.
+func (c *Client) freeBlock(prog *pieceProgress) int {
+	for b := 0; b < prog.received.Len(); b++ {
+		if prog.received.Has(b) {
+			continue
+		}
+		if len(c.requested[blockRef{prog.piece, b}]) > 0 {
+			continue
+		}
+		return b
+	}
+	return -1
+}
+
+// returnRequests releases every in-flight block assigned to p so other peers
+// can fetch them.
+func (c *Client) returnRequests(p *peerConn) {
+	refs := make([]blockRef, 0, len(p.requestsOut))
+	for ref := range p.requestsOut {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].piece != refs[j].piece {
+			return refs[i].piece < refs[j].piece
+		}
+		return refs[i].block < refs[j].block
+	})
+	for _, ref := range refs {
+		delete(p.requestsOut, ref)
+		c.dropRequester(ref, p)
+	}
+	c.refillAll()
+}
+
+func (c *Client) refillAll() {
+	for _, q := range c.peers {
+		if !q.closed && !q.peerChoking && q.amInterested {
+			c.fillRequests(q)
+		}
+	}
+}
+
+// dropRequester removes p from a block's requester set.
+func (c *Client) dropRequester(ref blockRef, p *peerConn) {
+	owners := c.requested[ref]
+	for i, q := range owners {
+		if q == p {
+			owners = append(owners[:i], owners[i+1:]...)
+			break
+		}
+	}
+	if len(owners) == 0 {
+		delete(c.requested, ref)
+	} else {
+		c.requested[ref] = owners
+	}
+}
+
+// onBlock accounts an arrived block and completes pieces. corrupt marks
+// payload from a faulty peer (it will fail the piece's hash check).
+func (c *Client) onBlock(p *peerConn, piece, block, length int, corrupt bool) {
+	ref := blockRef{piece, block}
+	// Cancel any endgame racers still fetching this block.
+	for _, q := range c.requested[ref] {
+		if q == p || q.closed {
+			continue
+		}
+		delete(q.requestsOut, ref)
+		q.send(msgCancel{Piece: piece, Begin: block * BlockSize, Length: length})
+	}
+	delete(c.requested, ref)
+	c.downloaded += int64(length)
+	c.downTotal.Add(c.engine.Now(), int64(length))
+	var prog *pieceProgress
+	for _, pr := range c.active {
+		if pr.piece == piece {
+			prog = pr
+			break
+		}
+	}
+	if prog == nil || c.have.Has(piece) {
+		c.fillRequests(p)
+		return
+	}
+	prog.received.Set(block)
+	prog.tainted = prog.tainted || corrupt
+	prog.contributors[p.id] = true
+	if prog.received.Complete() {
+		if prog.tainted {
+			c.failPiece(prog)
+		} else {
+			c.completePiece(piece)
+		}
+	}
+	c.fillRequests(p)
+}
+
+// failPiece handles a hash-check failure. A multi-contributor failure
+// cannot be attributed, so the piece is marked for exclusive single-source
+// re-fetch; a failure with exactly one contributor is definitive and the
+// peer is banned — the strategy real clients use.
+func (c *Client) failPiece(prog *pieceProgress) {
+	c.hashFails++
+	c.removeActive(prog.piece)
+	c.pending.Clear(prog.piece)
+	if len(prog.contributors) == 1 {
+		for id := range prog.contributors {
+			c.ban(id)
+		}
+		delete(c.failedOnce, prog.piece)
+	} else {
+		c.failedOnce[prog.piece] = true
+	}
+	c.refillAll()
+}
+
+func (c *Client) ban(id PeerID) {
+	if c.banned[id] {
+		return
+	}
+	c.banned[id] = true
+	for _, p := range append([]*peerConn(nil), c.peers...) {
+		if p.id == id {
+			p.close()
+		}
+	}
+}
+
+func (c *Client) removeActive(piece int) {
+	for i, pr := range c.active {
+		if pr.piece == piece {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// HashFails reports failed piece verifications.
+func (c *Client) HashFails() int { return c.hashFails }
+
+// Banned reports whether a peer-id has been banned for corruption.
+func (c *Client) Banned(id PeerID) bool { return c.banned[id] }
+
+// completePiece verifies a finished piece, records it, and announces it to
+// the swarm.
+func (c *Client) completePiece(piece int) {
+	c.removeActive(piece)
+	c.pending.Clear(piece)
+	delete(c.failedOnce, piece)
+	c.have.Set(piece)
+	c.bytesHave += int64(c.torrent.PieceSize(piece))
+	for _, p := range c.peers {
+		p.send(msgHave{Piece: piece})
+		p.updateInterest()
+	}
+	if c.OnPieceComplete != nil {
+		c.OnPieceComplete(piece)
+	}
+	if c.have.Complete() && c.completedAt < 0 {
+		c.completedAt = c.engine.Now()
+		c.announce(EventCompleted)
+		if c.OnComplete != nil {
+			c.OnComplete()
+		}
+	}
+}
+
+// sweep handles request timeouts and keeps the connection set topped up.
+func (c *Client) sweep() {
+	now := c.engine.Now()
+	type staleReq struct {
+		ref blockRef
+		p   *peerConn
+	}
+	var stale []staleReq
+	for ref, owners := range c.requested {
+		for _, p := range owners {
+			if at, ok := p.requestsOut[ref]; !ok || now-at > c.cfg.RequestTimeout {
+				stale = append(stale, staleReq{ref: ref, p: p})
+			}
+		}
+	}
+	// Map iteration order is runtime-random; sort for deterministic runs.
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.ref.piece != b.ref.piece {
+			return a.ref.piece < b.ref.piece
+		}
+		if a.ref.block != b.ref.block {
+			return a.ref.block < b.ref.block
+		}
+		return a.p.id < b.p.id
+	})
+	for _, s := range stale {
+		c.dropRequester(s.ref, s.p)
+		if !s.p.closed {
+			delete(s.p.requestsOut, s.ref)
+			s.p.send(msgCancel{
+				Piece:  s.ref.piece,
+				Begin:  s.ref.block * BlockSize,
+				Length: c.torrent.BlockLen(s.ref.piece, s.ref.block),
+			})
+		}
+	}
+	if len(stale) > 0 {
+		c.refillAll()
+	}
+	c.maintainConnections()
+}
+
+// DebugPeers summarizes wire and transport state of every connection, for
+// diagnostics.
+func (c *Client) DebugPeers() string {
+	s := ""
+	for _, p := range c.peers {
+		s += fmt.Sprintf("[%s in=%v amI=%v pChk=%v amChk=%v pInt=%v reqOut=%d rx=%d conn{%s}]",
+			p.id, p.inbound, p.amInterested, p.peerChoking, p.amChoking, p.peerInterested,
+			len(p.requestsOut), p.piecesRcvd, p.conn.DebugState())
+	}
+	if s == "" {
+		s = "(no peers)"
+	}
+	return s
+}
+
+// DebugPeerStats summarizes transport counters of every connection.
+func (c *Client) DebugPeerStats() string {
+	s := ""
+	for _, p := range c.peers {
+		st := p.conn.Stats()
+		s += fmt.Sprintf("[%s pure=%d piggy=%d dupTx=%d dupRx=%d rtx=%d fast=%d rto=%d]",
+			p.id[14:], st.PureAcksSent, st.PiggybackedAcks, st.DupAcksSent, st.DupAcksRcvd, st.Retransmits, st.FastRetransmits, st.Timeouts)
+	}
+	return s
+}

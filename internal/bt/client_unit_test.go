@@ -1,0 +1,129 @@
+package bt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+func TestAddKnownDedupesAndUpdates(t *testing.T) {
+	env := newSwarmEnv(80, 512*1024, 64*1024)
+	c := env.client(Config{})
+	c.addKnown(PeerInfo{ID: "a", Addr: netem.Addr{IP: 5, Port: 1}})
+	c.addKnown(PeerInfo{ID: "a", Addr: netem.Addr{IP: 5, Port: 1}})
+	c.addKnown(PeerInfo{ID: "b", Addr: netem.Addr{IP: 6, Port: 1}})
+	if got := len(c.KnownPeers()); got != 2 {
+		t.Fatalf("known = %d, want 2", got)
+	}
+	// Same address, new identity (peer restarted behind the same IP):
+	// the entry updates in place.
+	c.addKnown(PeerInfo{ID: "a2", Addr: netem.Addr{IP: 5, Port: 1}})
+	kp := c.KnownPeers()
+	if len(kp) != 2 || kp[0].ID != "a2" {
+		t.Errorf("entry not updated: %v", kp)
+	}
+	// Own id is never recorded.
+	c.addKnown(PeerInfo{ID: c.PeerID(), Addr: netem.Addr{IP: 7, Port: 1}})
+	if len(c.KnownPeers()) != 2 {
+		t.Error("own id recorded")
+	}
+}
+
+func TestInitialHaveAccounting(t *testing.T) {
+	env := newSwarmEnv(81, 500*1024, 64*1024) // 8 pieces, last short
+	n := env.torrent.NumPieces()
+	half := NewBitfield(n)
+	half.Set(0)
+	half.Set(n - 1) // short piece
+	c := env.client(Config{InitialHave: half})
+	wantBytes := int64(env.torrent.PieceSize(0) + env.torrent.PieceSize(n-1))
+	if c.BytesHave() != wantBytes {
+		t.Errorf("BytesHave = %d, want %d", c.BytesHave(), wantBytes)
+	}
+	if c.Complete() {
+		t.Error("half-seeded client claims complete")
+	}
+	// InitialHave is cloned: mutating the original must not affect it.
+	half.Set(1)
+	if c.Have().Has(1) {
+		t.Error("InitialHave aliased, not cloned")
+	}
+}
+
+func TestSeedConfigIsCompleteImmediately(t *testing.T) {
+	env := newSwarmEnv(82, 512*1024, 64*1024)
+	c := env.client(Config{Seed: true})
+	if !c.Complete() || c.Progress() != 1 || c.BytesHave() != env.torrent.Length {
+		t.Errorf("seed state wrong: complete=%v progress=%v", c.Complete(), c.Progress())
+	}
+	if c.CompletedAt() != 0 {
+		t.Errorf("CompletedAt = %v", c.CompletedAt())
+	}
+}
+
+func TestSetPickerNilIgnored(t *testing.T) {
+	env := newSwarmEnv(83, 512*1024, 64*1024)
+	c := env.client(Config{})
+	before := c.picker
+	c.SetPicker(nil)
+	if c.picker != before {
+		t.Error("nil picker replaced the existing one")
+	}
+	c.SetPicker(Sequential{})
+	if _, ok := c.picker.(Sequential); !ok {
+		t.Error("SetPicker did not take effect")
+	}
+}
+
+func TestRestartKeepsResumeData(t *testing.T) {
+	env := newSwarmEnv(84, 1024*1024, 64*1024)
+	seed := env.client(Config{Seed: true})
+	leech := env.client(Config{})
+	seed.Start()
+	leech.Start()
+	env.engine.RunFor(5 * time.Second)
+	haveBefore := leech.BytesHave()
+	if haveBefore == 0 {
+		env.engine.RunFor(10 * time.Second)
+		haveBefore = leech.BytesHave()
+	}
+	leech.Restart(true)
+	if leech.BytesHave() != haveBefore {
+		t.Errorf("resume data lost: %d → %d", haveBefore, leech.BytesHave())
+	}
+	env.engine.RunFor(3 * time.Minute)
+	if !leech.Complete() {
+		t.Errorf("did not complete after restart: %.0f%%", leech.Progress()*100)
+	}
+}
+
+func TestStopIsIdempotentAndStartOnceOnly(t *testing.T) {
+	env := newSwarmEnv(85, 512*1024, 64*1024)
+	c := env.client(Config{Seed: true})
+	c.Start()
+	c.Start() // second start is a no-op, must not double-listen
+	env.engine.RunFor(time.Second)
+	c.Stop()
+	c.Stop() // idempotent
+	env.engine.RunFor(time.Second)
+	if env.tracker.SwarmSize(env.torrent.InfoHash()) != 0 {
+		t.Error("client still at tracker after Stop")
+	}
+}
+
+func TestDownloadUploadRateAccessors(t *testing.T) {
+	env := newSwarmEnv(86, 1024*1024, 64*1024)
+	seed := env.client(Config{Seed: true})
+	leech := env.client(Config{})
+	seed.Start()
+	leech.Start()
+	// The first unchoke happens at the 10 s choker tick.
+	env.engine.RunFor(15 * time.Second)
+	if leech.DownloadRate() <= 0 {
+		t.Error("leech download rate zero mid-transfer")
+	}
+	if seed.UploadRate() <= 0 {
+		t.Error("seed upload rate zero mid-transfer")
+	}
+}

@@ -1,0 +1,306 @@
+package bt
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/metrics"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/tcp"
+)
+
+// blockRef names one block of one piece.
+type blockRef struct {
+	piece int
+	block int
+}
+
+// peerConn is the client's view of one remote peer: wire-protocol state
+// (choke/interest in both directions), the remote piece map, transfer-rate
+// estimators, and the request pipelines in both directions.
+type peerConn struct {
+	client  *Client
+	conn    *tcp.Conn
+	addr    netem.Addr // remote wire address
+	inbound bool
+
+	id           PeerID
+	gotHandshake bool
+
+	amChoking      bool
+	amInterested   bool
+	peerChoking    bool
+	peerInterested bool
+
+	remoteHas *Bitfield
+
+	upRate   *metrics.RateEstimator // payload bytes we sent to this peer
+	downRate *metrics.RateEstimator // payload bytes received from this peer
+
+	// requestsOut tracks blocks we have asked this peer for.
+	requestsOut map[blockRef]time.Duration
+	// cancelled marks inbound requests withdrawn while queued on the upload
+	// limiter.
+	cancelled map[blockRef]bool
+	// sendQ holds granted blocks awaiting room in the TCP send buffer.
+	// Writing them all at once would head-of-line-block our own requests
+	// and haves behind bulk data — real clients pace writes the same way.
+	sendQ []msgPiece
+
+	unchokedAt  time.Duration // when we last unchoked this peer
+	connectedAt time.Duration
+	closed      bool
+
+	// Wire counters for diagnostics and tests.
+	reqsRcvd        int64 // requests received from the peer
+	reqsDropChoked  int64 // requests ignored because the peer was choked
+	reqsDropNotHave int64 // requests for pieces we lack
+	piecesSent      int64 // blocks served
+	piecesRcvd      int64 // blocks received
+	piecesUnwanted  int64 // blocks received without a matching request
+}
+
+func newPeerConn(c *Client, conn *tcp.Conn, addr netem.Addr, inbound bool) *peerConn {
+	p := &peerConn{
+		client:      c,
+		conn:        conn,
+		addr:        addr,
+		inbound:     inbound,
+		amChoking:   true,
+		peerChoking: true,
+		remoteHas:   NewBitfield(c.torrent.NumPieces()),
+		upRate:      metrics.NewRateEstimator(c.cfg.RateWindow),
+		downRate:    metrics.NewRateEstimator(c.cfg.RateWindow),
+		requestsOut: make(map[blockRef]time.Duration),
+		cancelled:   make(map[blockRef]bool),
+		connectedAt: c.engine.Now(),
+	}
+	conn.OnMessage = p.onMessage
+	conn.OnClose = p.onConnClose
+	conn.OnWritable = p.drainSendQ
+	return p
+}
+
+// sendBufferHighWater bounds how much bulk payload we keep queued in TCP:
+// enough to keep the pipe busy, shallow enough that control messages are
+// never stuck behind seconds of piece data.
+const sendBufferHighWater = 2 * BlockSize
+
+// drainSendQ writes queued blocks while the TCP send buffer has room.
+func (p *peerConn) drainSendQ() {
+	if p.closed {
+		return
+	}
+	for len(p.sendQ) > 0 && p.conn.Buffered() < sendBufferHighWater {
+		m := p.sendQ[0]
+		copy(p.sendQ, p.sendQ[1:])
+		p.sendQ = p.sendQ[:len(p.sendQ)-1]
+		ref := blockRef{m.Piece, m.Begin / BlockSize}
+		if p.amChoking || p.cancelled[ref] {
+			delete(p.cancelled, ref)
+			continue
+		}
+		p.send(m)
+		p.piecesSent++
+		now := p.client.engine.Now()
+		p.upRate.Add(now, int64(m.Length))
+		p.client.uploaded += int64(m.Length)
+		p.client.upTotal.Add(now, int64(m.Length))
+	}
+}
+
+// send frames a wire message onto the connection.
+func (p *peerConn) send(m wireMsg) {
+	if p.closed {
+		return
+	}
+	p.conn.SendMessage(m, m.wireLen())
+}
+
+func (p *peerConn) sendHandshake() {
+	p.send(msgHandshake{
+		InfoHash: p.client.torrent.InfoHash(),
+		PeerID:   p.client.peerID,
+		Seed:     p.client.have.Complete(),
+	})
+	p.send(msgBitfield{Bits: p.client.have.Clone()})
+}
+
+func (p *peerConn) onConnClose(error) {
+	p.client.removePeer(p)
+}
+
+// close tears the connection down and unregisters the peer.
+func (p *peerConn) close() {
+	if p.closed {
+		return
+	}
+	p.conn.Abort() // triggers onConnClose → removePeer
+}
+
+func (p *peerConn) onMessage(v any) {
+	if p.closed {
+		return
+	}
+	switch m := v.(type) {
+	case msgHandshake:
+		p.handleHandshake(m)
+	case msgBitfield:
+		p.handleBitfield(m)
+	case msgHave:
+		p.handleHave(m)
+	case msgInterested:
+		p.peerInterested = true
+	case msgNotInterested:
+		p.peerInterested = false
+	case msgChoke:
+		p.handleChoke()
+	case msgUnchoke:
+		p.handleUnchoke()
+	case msgRequest:
+		p.handleRequest(m)
+	case msgPiece:
+		p.handlePiece(m)
+	case msgCancel:
+		p.cancelled[blockRef{m.Piece, m.Begin / BlockSize}] = true
+	}
+}
+
+func (p *peerConn) handleHandshake(m msgHandshake) {
+	if m.InfoHash != p.client.torrent.InfoHash() {
+		p.close()
+		return
+	}
+	p.id = m.PeerID
+	p.gotHandshake = true
+	if p.inbound {
+		// We waited to learn the torrent/peer before replying.
+		p.sendHandshake()
+	}
+	p.client.peerReady(p)
+}
+
+func (p *peerConn) handleBitfield(m msgBitfield) {
+	if !p.gotHandshake {
+		p.close()
+		return
+	}
+	old := p.remoteHas
+	p.remoteHas = m.Bits.Clone()
+	p.client.availReplace(old, p.remoteHas)
+	p.updateInterest()
+}
+
+func (p *peerConn) handleHave(m msgHave) {
+	if m.Piece < 0 || m.Piece >= p.remoteHas.Len() {
+		return
+	}
+	if !p.remoteHas.Has(m.Piece) {
+		p.remoteHas.Set(m.Piece)
+		p.client.availAdd(m.Piece, 1)
+	}
+	p.updateInterest()
+	if p.amInterested && !p.peerChoking {
+		p.client.fillRequests(p)
+	}
+}
+
+func (p *peerConn) handleChoke() {
+	p.peerChoking = true
+	// Outstanding requests will not be serviced; return them to the pool.
+	p.client.returnRequests(p)
+}
+
+func (p *peerConn) handleUnchoke() {
+	p.peerChoking = false
+	p.client.fillRequests(p)
+}
+
+// handleRequest serves one block through the upload limiter, provided the
+// peer is unchoked and we have the piece.
+func (p *peerConn) handleRequest(m msgRequest) {
+	p.reqsRcvd++
+	if p.amChoking {
+		p.reqsDropChoked++
+		return
+	}
+	if !p.client.have.Has(m.Piece) {
+		p.reqsDropNotHave++
+		return
+	}
+	ref := blockRef{m.Piece, m.Begin / BlockSize}
+	delete(p.cancelled, ref)
+	grant := func() {
+		if p.closed || p.amChoking {
+			return
+		}
+		if p.cancelled[ref] {
+			delete(p.cancelled, ref)
+			return
+		}
+		p.sendQ = append(p.sendQ, msgPiece{
+			Piece: m.Piece, Begin: m.Begin, Length: m.Length,
+			Corrupt: p.client.cfg.Corrupt,
+		})
+		p.drainSendQ()
+	}
+	if lim := p.client.cfg.UploadLimiter; lim != nil {
+		lim.Acquire(m.Length, grant)
+	} else {
+		grant()
+	}
+}
+
+func (p *peerConn) handlePiece(m msgPiece) {
+	ref := blockRef{m.Piece, m.Begin / BlockSize}
+	if _, ok := p.requestsOut[ref]; !ok {
+		p.piecesUnwanted++
+		return // unsolicited or already timed out
+	}
+	p.piecesRcvd++
+	delete(p.requestsOut, ref)
+	now := p.client.engine.Now()
+	p.downRate.Add(now, int64(m.Length))
+	p.client.ledger.Add(p.id, int64(m.Length), now)
+	p.client.onBlock(p, m.Piece, m.Begin/BlockSize, m.Length, m.Corrupt)
+}
+
+// updateInterest recomputes and, on transitions, announces our interest.
+func (p *peerConn) updateInterest() {
+	want := false
+	for i := 0; i < p.remoteHas.Len(); i++ {
+		if p.remoteHas.Has(i) && !p.client.have.Has(i) {
+			want = true
+			break
+		}
+	}
+	if want != p.amInterested {
+		p.amInterested = want
+		if want {
+			p.send(msgInterested{})
+		} else {
+			p.send(msgNotInterested{})
+		}
+	}
+}
+
+// setChoke sends choke/unchoke transitions to the peer.
+func (p *peerConn) setChoke(choke bool) {
+	if choke == p.amChoking {
+		return
+	}
+	p.amChoking = choke
+	if choke {
+		p.sendQ = nil // choked peers get nothing further
+		p.send(msgChoke{})
+	} else {
+		p.unchokedAt = p.client.engine.Now()
+		p.send(msgUnchoke{})
+	}
+}
+
+// request sends one block request and records it.
+func (p *peerConn) request(piece, block int) {
+	length := p.client.torrent.BlockLen(piece, block)
+	p.requestsOut[blockRef{piece, block}] = p.client.engine.Now()
+	p.send(msgRequest{Piece: piece, Begin: block * BlockSize, Length: length})
+}

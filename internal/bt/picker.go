@@ -1,0 +1,96 @@
+package bt
+
+import "math/rand"
+
+// PickContext carries the state a piece picker decides from.
+type PickContext struct {
+	// Have is the local piece map.
+	Have *Bitfield
+	// Pending marks pieces already fully requested (in flight).
+	Pending *Bitfield
+	// PeerHas is the candidate peer's piece map.
+	PeerHas *Bitfield
+	// Avail[i] is how many connected peers have piece i.
+	Avail []int
+	// Progress is the downloaded fraction of the file in [0, 1].
+	Progress float64
+	// Rand is the deterministic random source.
+	Rand *rand.Rand
+}
+
+// eligible reports whether piece i can be requested from this peer.
+func (ctx *PickContext) eligible(i int) bool {
+	return ctx.PeerHas.Has(i) && !ctx.Have.Has(i) && !ctx.Pending.Has(i)
+}
+
+// Picker selects the next piece to fetch from a peer, or -1 if nothing is
+// eligible. Implementations must not mutate the context.
+type Picker interface {
+	PickPiece(ctx *PickContext) int
+}
+
+// RarestFirst picks the eligible piece held by the fewest connected peers,
+// breaking ties uniformly at random — classic BitTorrent behaviour. It
+// maximizes the client's usefulness to the swarm but leaves essentially no
+// in-order prefix until the download nears completion (paper §3.6).
+type RarestFirst struct{}
+
+// PickPiece implements Picker.
+func (RarestFirst) PickPiece(ctx *PickContext) int {
+	best := -1
+	bestAvail := int(^uint(0) >> 1)
+	ties := 0
+	for i := 0; i < ctx.PeerHas.Len(); i++ {
+		if !ctx.eligible(i) {
+			continue
+		}
+		a := 0
+		if i < len(ctx.Avail) {
+			a = ctx.Avail[i]
+		}
+		switch {
+		case a < bestAvail:
+			best, bestAvail, ties = i, a, 1
+		case a == bestAvail:
+			// Reservoir-sample among ties for a uniform choice.
+			ties++
+			if ctx.Rand != nil && ctx.Rand.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// Sequential picks the lowest-index eligible piece, maximizing the playable
+// prefix at the cost of contributing only common pieces to the swarm.
+type Sequential struct{}
+
+// PickPiece implements Picker.
+func (Sequential) PickPiece(ctx *PickContext) int {
+	for i := 0; i < ctx.PeerHas.Len(); i++ {
+		if ctx.eligible(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Random picks uniformly among eligible pieces.
+type Random struct{}
+
+// PickPiece implements Picker.
+func (Random) PickPiece(ctx *PickContext) int {
+	chosen := -1
+	seen := 0
+	for i := 0; i < ctx.PeerHas.Len(); i++ {
+		if !ctx.eligible(i) {
+			continue
+		}
+		seen++
+		if ctx.Rand == nil || ctx.Rand.Intn(seen) == 0 {
+			chosen = i
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,139 @@
+package bt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pickCtx(n int) *PickContext {
+	return &PickContext{
+		Have:    NewBitfield(n),
+		Pending: NewBitfield(n),
+		PeerHas: NewBitfield(n),
+		Avail:   make([]int, n),
+		Rand:    rand.New(rand.NewSource(5)),
+	}
+}
+
+func TestRarestFirstPicksRarest(t *testing.T) {
+	ctx := pickCtx(5)
+	ctx.PeerHas.SetAll()
+	ctx.Avail = []int{5, 3, 1, 4, 2}
+	if got := (RarestFirst{}).PickPiece(ctx); got != 2 {
+		t.Errorf("picked %d, want rarest (2)", got)
+	}
+}
+
+func TestRarestFirstSkipsOwnedAndPending(t *testing.T) {
+	ctx := pickCtx(4)
+	ctx.PeerHas.SetAll()
+	ctx.Avail = []int{1, 1, 2, 3}
+	ctx.Have.Set(0)
+	ctx.Pending.Set(1)
+	if got := (RarestFirst{}).PickPiece(ctx); got != 2 {
+		t.Errorf("picked %d, want 2", got)
+	}
+}
+
+func TestRarestFirstRespectsPeerHas(t *testing.T) {
+	ctx := pickCtx(4)
+	ctx.PeerHas.Set(3) // peer only has piece 3
+	ctx.Avail = []int{0, 0, 0, 9}
+	if got := (RarestFirst{}).PickPiece(ctx); got != 3 {
+		t.Errorf("picked %d, want 3", got)
+	}
+}
+
+func TestRarestFirstExhausted(t *testing.T) {
+	ctx := pickCtx(3)
+	ctx.PeerHas.SetAll()
+	ctx.Have.SetAll()
+	if got := (RarestFirst{}).PickPiece(ctx); got != -1 {
+		t.Errorf("picked %d from nothing, want -1", got)
+	}
+}
+
+func TestRarestFirstTieBreakIsUniformish(t *testing.T) {
+	counts := map[int]int{}
+	ctx := pickCtx(4)
+	ctx.PeerHas.SetAll()
+	ctx.Avail = []int{2, 2, 2, 2}
+	for i := 0; i < 400; i++ {
+		counts[(RarestFirst{}).PickPiece(ctx)]++
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] < 40 {
+			t.Errorf("piece %d picked %d/400 times; tie-break not random", p, counts[p])
+		}
+	}
+}
+
+func TestSequentialPicksLowest(t *testing.T) {
+	ctx := pickCtx(6)
+	ctx.PeerHas.SetAll()
+	ctx.Have.Set(0)
+	ctx.Pending.Set(1)
+	if got := (Sequential{}).PickPiece(ctx); got != 2 {
+		t.Errorf("picked %d, want 2", got)
+	}
+}
+
+func TestRandomPicksEligible(t *testing.T) {
+	ctx := pickCtx(10)
+	ctx.PeerHas.Set(4)
+	ctx.PeerHas.Set(7)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		p := (Random{}).PickPiece(ctx)
+		if p != 4 && p != 7 {
+			t.Fatalf("picked ineligible piece %d", p)
+		}
+		seen[p] = true
+	}
+	if !seen[4] || !seen[7] {
+		t.Errorf("random picker never picked one of the eligible pieces: %v", seen)
+	}
+}
+
+// Property: every picker returns either -1 or an eligible piece.
+func TestPropertyPickersReturnEligible(t *testing.T) {
+	pickers := []Picker{RarestFirst{}, Sequential{}, Random{}}
+	prop := func(haveBits, pendingBits, peerBits []bool, seed int64) bool {
+		n := 50
+		ctx := pickCtx(n)
+		ctx.Rand = rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			if i < len(haveBits) && haveBits[i] {
+				ctx.Have.Set(i)
+			}
+			if i < len(pendingBits) && pendingBits[i] {
+				ctx.Pending.Set(i)
+			}
+			if i < len(peerBits) && peerBits[i] {
+				ctx.PeerHas.Set(i)
+			}
+			ctx.Avail[i] = i % 7
+		}
+		for _, pk := range pickers {
+			got := pk.PickPiece(ctx)
+			if got == -1 {
+				// Must truly have no eligible piece.
+				for i := 0; i < n; i++ {
+					if ctx.eligible(i) {
+						return false
+					}
+				}
+				continue
+			}
+			if !ctx.eligible(got) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package bt
+
+import (
+	"sort"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// AnnounceEvent marks the lifecycle stage of an announce.
+type AnnounceEvent int
+
+// Announce events.
+const (
+	EventNone AnnounceEvent = iota
+	EventStarted
+	EventCompleted
+	EventStopped
+)
+
+// AnnounceRequest is a client's periodic report to the tracker.
+type AnnounceRequest struct {
+	InfoHash InfoHash
+	PeerID   PeerID
+	Addr     netem.Addr
+	Seed     bool
+	Event    AnnounceEvent
+	NumWant  int // max peers wanted in the reply (default DefaultNumWant)
+}
+
+// PeerInfo is one tracker directory entry.
+type PeerInfo struct {
+	ID   PeerID
+	Addr netem.Addr
+	Seed bool
+}
+
+// AnnounceResponse is the tracker's reply.
+type AnnounceResponse struct {
+	Interval time.Duration // when to announce next
+	Peers    []PeerInfo
+}
+
+// Tracker defaults.
+const (
+	// DefaultNumWant matches the 50-address replies the paper describes.
+	DefaultNumWant = 50
+	// DefaultAnnounceInterval is deliberately minutes-scale: "peer address
+	// updates in BitTorrent happen at the granularity of tens of minutes";
+	// we scale to keep simulations tractable while preserving the property
+	// that tracker knowledge lags mobility.
+	DefaultAnnounceInterval = 3 * time.Minute
+	// DefaultTrackerRTT models announce request/response latency.
+	DefaultTrackerRTT = 100 * time.Millisecond
+)
+
+// Tracker is the per-torrent directory server: it records which peers are in
+// each swarm and answers announces with a random subset of addresses.
+// Entries not refreshed within two intervals are pruned, which is exactly
+// why a handed-off mobile peer's stale address lingers in other peers' lists
+// for minutes (paper §3.5).
+type Tracker struct {
+	engine   *sim.Engine
+	interval time.Duration
+	rtt      time.Duration
+	swarms   map[InfoHash]map[PeerID]*trackerEntry
+
+	// Announces counts announce requests, for tests.
+	Announces int
+}
+
+type trackerEntry struct {
+	info     PeerInfo
+	lastSeen time.Duration
+}
+
+// TrackerConfig parameterizes a Tracker.
+type TrackerConfig struct {
+	Interval time.Duration // announce interval handed to clients
+	RTT      time.Duration // simulated request latency
+}
+
+// NewTracker builds an empty tracker.
+func NewTracker(engine *sim.Engine, cfg TrackerConfig) *Tracker {
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultAnnounceInterval
+	}
+	if cfg.RTT == 0 {
+		cfg.RTT = DefaultTrackerRTT
+	}
+	return &Tracker{
+		engine:   engine,
+		interval: cfg.Interval,
+		rtt:      cfg.RTT,
+		swarms:   make(map[InfoHash]map[PeerID]*trackerEntry),
+	}
+}
+
+// Interval returns the announce interval the tracker hands to clients.
+func (t *Tracker) Interval() time.Duration { return t.interval }
+
+// Announce registers or refreshes a peer and replies (after the simulated
+// RTT) with up to NumWant other swarm members.
+func (t *Tracker) Announce(req AnnounceRequest, cb func(AnnounceResponse)) {
+	t.engine.Schedule(t.rtt, func() {
+		t.Announces++
+		resp := t.handle(req)
+		if cb != nil {
+			t.engine.Schedule(t.rtt, func() { cb(resp) })
+		}
+	})
+}
+
+func (t *Tracker) handle(req AnnounceRequest) AnnounceResponse {
+	swarm := t.swarms[req.InfoHash]
+	if swarm == nil {
+		swarm = make(map[PeerID]*trackerEntry)
+		t.swarms[req.InfoHash] = swarm
+	}
+	now := t.engine.Now()
+
+	// Prune entries that have missed two announce windows.
+	for id, e := range swarm {
+		if now-e.lastSeen > 2*t.interval+t.rtt {
+			delete(swarm, id)
+		}
+	}
+
+	if req.Event == EventStopped {
+		delete(swarm, req.PeerID)
+	} else {
+		swarm[req.PeerID] = &trackerEntry{
+			info:     PeerInfo{ID: req.PeerID, Addr: req.Addr, Seed: req.Seed || req.Event == EventCompleted},
+			lastSeen: now,
+		}
+	}
+
+	want := req.NumWant
+	if want <= 0 {
+		want = DefaultNumWant
+	}
+	peers := make([]PeerInfo, 0, len(swarm))
+	for id, e := range swarm {
+		if id == req.PeerID {
+			continue
+		}
+		peers = append(peers, e.info)
+	}
+	// Map iteration order is runtime-random; sort before the seeded shuffle
+	// so identical runs return identical peer lists.
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	r := t.engine.Rand()
+	for i := len(peers) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		peers[i], peers[j] = peers[j], peers[i]
+	}
+	if len(peers) > want {
+		peers = peers[:want]
+	}
+	return AnnounceResponse{Interval: t.interval, Peers: peers}
+}
+
+// SwarmSize reports current members of a swarm, for tests and metrics.
+func (t *Tracker) SwarmSize(h InfoHash) int { return len(t.swarms[h]) }
+
+// Seeds reports how many current members are seeds.
+func (t *Tracker) Seeds(h InfoHash) int {
+	n := 0
+	for _, e := range t.swarms[h] {
+		if e.info.Seed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package bt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+func trackerFixture(seed int64, interval time.Duration) (*sim.Engine, *Tracker, InfoHash) {
+	e := sim.NewEngine(sim.WithSeed(seed))
+	tr := NewTracker(e, TrackerConfig{Interval: interval})
+	h := NewMetaInfo("f", 1<<20, 0).InfoHash()
+	return e, tr, h
+}
+
+func TestTrackerAnnounceReturnsOthers(t *testing.T) {
+	e, tr, h := trackerFixture(1, time.Minute)
+	var gotA, gotB AnnounceResponse
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "A", Addr: netem.Addr{IP: 1, Port: 6881}}, func(r AnnounceResponse) { gotA = r })
+	e.Run()
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "B", Addr: netem.Addr{IP: 2, Port: 6881}}, func(r AnnounceResponse) { gotB = r })
+	e.Run()
+	if len(gotA.Peers) != 0 {
+		t.Errorf("first announcer got %d peers, want 0", len(gotA.Peers))
+	}
+	if len(gotB.Peers) != 1 || gotB.Peers[0].ID != "A" {
+		t.Fatalf("second announcer got %v, want [A]", gotB.Peers)
+	}
+	if gotB.Interval != time.Minute {
+		t.Errorf("interval = %v", gotB.Interval)
+	}
+	if tr.SwarmSize(h) != 2 {
+		t.Errorf("SwarmSize = %d", tr.SwarmSize(h))
+	}
+}
+
+func TestTrackerNumWantCap(t *testing.T) {
+	e, tr, h := trackerFixture(2, time.Minute)
+	for i := 0; i < 80; i++ {
+		tr.Announce(AnnounceRequest{
+			InfoHash: h,
+			PeerID:   PeerID(rune('A' + i)),
+			Addr:     netem.Addr{IP: netem.IP(i + 1), Port: 6881},
+		}, nil)
+	}
+	e.Run()
+	var got AnnounceResponse
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "me", Addr: netem.Addr{IP: 200, Port: 6881}}, func(r AnnounceResponse) { got = r })
+	e.Run()
+	if len(got.Peers) != DefaultNumWant {
+		t.Errorf("got %d peers, want %d (the paper's 50-address replies)", len(got.Peers), DefaultNumWant)
+	}
+	var got2 AnnounceResponse
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "me", Addr: netem.Addr{IP: 200, Port: 6881}, NumWant: 5}, func(r AnnounceResponse) { got2 = r })
+	e.Run()
+	if len(got2.Peers) != 5 {
+		t.Errorf("NumWant=5 returned %d peers", len(got2.Peers))
+	}
+}
+
+func TestTrackerPrunesStale(t *testing.T) {
+	e, tr, h := trackerFixture(3, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "old", Addr: netem.Addr{IP: 1, Port: 6881}}, nil)
+	e.Run()
+	// "old" never announces again; after 2 intervals it must be pruned.
+	e.RunUntil(5 * time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "new", Addr: netem.Addr{IP: 2, Port: 6881}}, nil)
+	e.Run()
+	if tr.SwarmSize(h) != 1 {
+		t.Errorf("SwarmSize = %d, want 1 (stale pruned)", tr.SwarmSize(h))
+	}
+}
+
+func TestTrackerStoppedRemoves(t *testing.T) {
+	e, tr, h := trackerFixture(4, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "A", Addr: netem.Addr{IP: 1, Port: 6881}}, nil)
+	e.Run()
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "A", Event: EventStopped}, nil)
+	e.Run()
+	if tr.SwarmSize(h) != 0 {
+		t.Errorf("SwarmSize = %d after stop, want 0", tr.SwarmSize(h))
+	}
+}
+
+func TestTrackerSeedsCount(t *testing.T) {
+	e, tr, h := trackerFixture(5, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "s", Addr: netem.Addr{IP: 1, Port: 6881}, Seed: true}, nil)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "l", Addr: netem.Addr{IP: 2, Port: 6881}}, nil)
+	e.Run()
+	if tr.Seeds(h) != 1 {
+		t.Errorf("Seeds = %d, want 1", tr.Seeds(h))
+	}
+	// Completion promotes to seed.
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "l", Addr: netem.Addr{IP: 2, Port: 6881}, Event: EventCompleted}, nil)
+	e.Run()
+	if tr.Seeds(h) != 2 {
+		t.Errorf("Seeds = %d after completion, want 2", tr.Seeds(h))
+	}
+}
+
+func TestTrackerAddressUpdateOnReannounce(t *testing.T) {
+	// A handed-off peer re-announcing from a new address must replace its
+	// directory entry — this is how the swarm eventually learns new
+	// addresses (at announce granularity, paper §3.5).
+	e, tr, h := trackerFixture(6, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "m", Addr: netem.Addr{IP: 1, Port: 6881}}, nil)
+	e.Run()
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "m", Addr: netem.Addr{IP: 99, Port: 6881}}, nil)
+	e.Run()
+	var got AnnounceResponse
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "x", Addr: netem.Addr{IP: 2, Port: 6881}}, func(r AnnounceResponse) { got = r })
+	e.Run()
+	if len(got.Peers) != 1 || got.Peers[0].Addr.IP != 99 {
+		t.Fatalf("peers = %v, want m@99", got.Peers)
+	}
+}

@@ -1,0 +1,93 @@
+package bt
+
+import "fmt"
+
+// PeerID identifies a client instance to its peers. The tit-for-tat credit
+// a peer accumulates is keyed by this value, which is why regenerating it on
+// every task re-initiation (the default client's behaviour across handoffs)
+// forfeits all accumulated incentives — the failure mode of paper §3.4.
+type PeerID string
+
+// NewPeerID derives a fresh peer id from a source of randomness, mimicking
+// the "function of the IP address and a random value" construction.
+func NewPeerID(r interface{ Int63() int64 }) PeerID {
+	return PeerID(fmt.Sprintf("-WP0001-%012x", uint64(r.Int63())&0xffffffffffff))
+}
+
+// Wire message framing constants (classic BitTorrent peer protocol).
+const (
+	handshakeLen = 68 // pstrlen + pstr + reserved + infohash + peerid
+	msgOverhead  = 5  // 4-byte length prefix + 1-byte id
+)
+
+// msgHandshake opens the peer wire session in each direction.
+type msgHandshake struct {
+	InfoHash InfoHash
+	PeerID   PeerID
+	Seed     bool // advertised so tests can observe role; not used by logic
+}
+
+func (msgHandshake) wireLen() int { return handshakeLen }
+
+// msgChoke tells the peer we will not service its requests.
+type msgChoke struct{}
+
+func (msgChoke) wireLen() int { return msgOverhead }
+
+// msgUnchoke tells the peer its requests will be serviced.
+type msgUnchoke struct{}
+
+func (msgUnchoke) wireLen() int { return msgOverhead }
+
+// msgInterested signals we want pieces the peer has.
+type msgInterested struct{}
+
+func (msgInterested) wireLen() int { return msgOverhead }
+
+// msgNotInterested signals we need nothing from the peer.
+type msgNotInterested struct{}
+
+func (msgNotInterested) wireLen() int { return msgOverhead }
+
+// msgHave announces possession of one verified piece.
+type msgHave struct{ Piece int }
+
+func (msgHave) wireLen() int { return msgOverhead + 4 }
+
+// msgBitfield announces the full piece map right after the handshake.
+type msgBitfield struct{ Bits *Bitfield }
+
+func (m msgBitfield) wireLen() int { return msgOverhead + (m.Bits.Len()+7)/8 }
+
+// msgRequest asks for one block.
+type msgRequest struct {
+	Piece  int
+	Begin  int
+	Length int
+}
+
+func (msgRequest) wireLen() int { return msgOverhead + 12 }
+
+// msgPiece delivers one block of payload. Corrupt marks data that will fail
+// the receiver's hash check (payload bytes are counted, not stored, so
+// provenance stands in for content integrity).
+type msgPiece struct {
+	Piece   int
+	Begin   int
+	Length  int
+	Corrupt bool
+}
+
+func (m msgPiece) wireLen() int { return msgOverhead + 8 + m.Length }
+
+// msgCancel withdraws a pending request.
+type msgCancel struct {
+	Piece  int
+	Begin  int
+	Length int
+}
+
+func (msgCancel) wireLen() int { return msgOverhead + 12 }
+
+// wireMsg is implemented by every peer protocol message.
+type wireMsg interface{ wireLen() int }

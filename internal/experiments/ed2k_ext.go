@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/ed2k"
+	"github.com/wp2p/wp2p/internal/mobility"
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+// Ed2kConfig parameterizes the §3.7 cross-protocol experiment.
+type Ed2kConfig struct {
+	Scale         float64
+	FileSize      int64
+	Horizon       time.Duration
+	HandoffPeriod time.Duration
+	Competitors   int // fixed leeches contending for queue slots
+	Runs          int
+	Seed          int64
+}
+
+func (c Ed2kConfig) withDefaults() Ed2kConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.FileSize == 0 {
+		c.FileSize = scaled(256*1024*1024, c.Scale, 16*1024*1024)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = scaledDur(40*time.Minute, c.Scale, 10*time.Minute)
+	}
+	if c.HandoffPeriod == 0 {
+		c.HandoffPeriod = 2 * time.Minute
+	}
+	if c.Competitors == 0 {
+		c.Competitors = 6
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ExtEd2kIdentity tests the paper's §3.7 claim that the mobility/identity
+// findings transfer to eDonkey, "the other third-generation P2P network".
+// eDonkey's incentives are *more* identity-bound than BitTorrent's: service
+// order is waiting-time × credit, both keyed by the persistent client hash,
+// and a reconnecting hash resumes its queue seniority. A mobile host that
+// regenerates its hash on every handoff therefore restarts from the back of
+// every queue with no credit — the double penalty this experiment measures
+// against a hash-retaining client.
+func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "ext-ed2k",
+		Title:  "eDonkey: identity loss under mobility (paper §3.7)",
+		XLabel: "time (min)",
+		YLabel: "downloaded size (MB)",
+	}
+
+	run := func(retainHash bool, seed int64) (x, y []float64) {
+		w := NewWorld(seed, 0)
+		file := &ed2k.File{ID: "fedora.iso", Size: cfg.FileSize, ChunkLen: 256 * 1024}
+		server := ed2k.NewServer(w.Engine, ed2k.ServerConfig{})
+
+		mk := func(c ed2k.Config) *ed2k.Client {
+			if c.Stack == nil {
+				// Scarce uplinks (cable-modem class) make upload queues the
+				// binding resource, as in real eDonkey swarms.
+				c.Stack = w.WiredHost(netem.Kbps(384), 0).Stack
+			}
+			c.Server = server
+			c.File = file
+			c.QueryInterval = time.Minute
+			return ed2k.NewClient(c)
+		}
+		// Scarce sources, long queues: two seeds with one upload slot each
+		// plus partially-complete competitors keep every queue contested.
+		for i := 0; i < 2; i++ {
+			mk(ed2k.Config{Seed: true, UploadSlots: 1}).Start()
+		}
+		for i := 0; i < cfg.Competitors; i++ {
+			chunks := make([]bool, file.NumChunks())
+			for j := range chunks {
+				if w.Engine.Rand().Float64() < 0.5 {
+					chunks[j] = true
+				}
+			}
+			mk(ed2k.Config{InitialChunks: chunks, UploadSlots: 1}).Start()
+		}
+
+		mobHost := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps})
+		mobile := mk(ed2k.Config{Stack: mobHost.Stack})
+		mobile.Start()
+
+		h := mobility.NewHandoff(w.Engine, w.Net, mobHost.Iface, mobility.NewIPAllocator(7000), cfg.HandoffPeriod)
+		if retainHash {
+			// wP2P-style reaction: detect fast, keep the identity.
+			h.OnChange = func(_, _ netem.IP) {
+				w.Engine.Schedule(2*time.Second, func() { mobile.Restart(false) })
+			}
+		} else {
+			mobility.DefaultReaction(w.Engine, h, mobile, 15*time.Second)
+		}
+		h.Start()
+
+		sample := cfg.Horizon / 20
+		for t := sample; t <= cfg.Horizon; t += sample {
+			w.Engine.RunFor(sample)
+			x = append(x, t.Minutes())
+			y = append(y, mb(mobile.Downloaded()))
+		}
+		return x, y
+	}
+
+	average := func(retain bool) (x, avg []float64) {
+		for r := 0; r < cfg.Runs; r++ {
+			xs, ys := run(retain, cfg.Seed+int64(r)*601)
+			if avg == nil {
+				x = xs
+				avg = make([]float64, len(ys))
+			}
+			for i := range ys {
+				avg[i] += ys[i] / float64(cfg.Runs)
+			}
+		}
+		return x, avg
+	}
+
+	x, defY := average(false)
+	_, keepY := average(true)
+	res.AddSeries("new hash each handoff (default)", x, defY)
+	res.AddSeries("hash retained (wP2P principle)", x, keepY)
+	if n := len(x) - 1; n >= 0 && defY[n] > 0 {
+		res.Note("after %.0f min (mean of %d runs): retained %.1f MB vs default %.1f MB (%.2fx) — identity matters at least as much as in BitTorrent, as §3.7 argues",
+			x[n], cfg.Runs, keepY[n], defY[n], keepY[n]/defY[n])
+	}
+	return res
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/metrics"
+	"github.com/wp2p/wp2p/internal/mobility"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/wp2p"
+)
+
+// AblationConfig parameterizes the wP2P component ablation.
+type AblationConfig struct {
+	Scale         float64
+	FileSize      int64
+	Horizon       time.Duration
+	HandoffPeriod time.Duration
+	BER           float64
+	Leeches       int
+	Runs          int // averaged runs per variant
+	Seed          int64
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.FileSize == 0 {
+		c.FileSize = scaled(256*1024*1024, c.Scale, 16*1024*1024)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = scaledDur(30*time.Minute, c.Scale, 6*time.Minute)
+	}
+	if c.HandoffPeriod == 0 {
+		c.HandoffPeriod = 2 * time.Minute
+	}
+	if c.BER == 0 {
+		c.BER = 5e-6
+	}
+	if c.Leeches == 0 {
+		c.Leeches = 10
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// AblationWP2P is not a paper figure but the study its design section
+// invites (the paper only evaluates components in isolation): one mobile
+// leech on a lossy WLAN with periodic handoffs, measured with each wP2P
+// component enabled alone and all together. Reported per variant: MB
+// downloaded within the horizon and the playable share of what was fetched
+// — the two quantities the user actually experiences.
+func AblationWP2P(cfg AblationConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "ablation",
+		Title:  "wP2P component ablation under loss + handoffs (extension)",
+		XLabel: "variant (0=default 1=+AM 2=+identity 3=+MF 4=+RR 5=full)",
+		YLabel: "MB downloaded / playable %",
+	}
+
+	type variant struct {
+		name string
+		cfg  func(base bt.Config) wp2p.Config
+	}
+	variants := []variant{
+		{"default", func(b bt.Config) wp2p.Config { return wp2p.Config{BT: b} }},
+		{"+AM", func(b bt.Config) wp2p.Config { return wp2p.Config{BT: b, AM: &wp2p.AMConfig{}} }},
+		{"+identity", func(b bt.Config) wp2p.Config { return wp2p.Config{BT: b, RetainIdentity: true} }},
+		{"+MF", func(b bt.Config) wp2p.Config { return wp2p.Config{BT: b, MF: &wp2p.MFConfig{}} }},
+		{"+RR", func(b bt.Config) wp2p.Config { return wp2p.Config{BT: b, RR: &wp2p.RRConfig{}} }},
+		{"full wP2P", func(b bt.Config) wp2p.Config {
+			return wp2p.Config{
+				BT: b, AM: &wp2p.AMConfig{}, MF: &wp2p.MFConfig{},
+				RR: &wp2p.RRConfig{}, RetainIdentity: true,
+			}
+		}},
+	}
+
+	runVariant := func(i int, v variant, seed int64) (dlMB, playable float64) {
+		w := NewWorld(seed, 90*time.Second)
+		tor := bt.NewMetaInfo("ablation", cfg.FileSize, 256*1024)
+		w.PopulateSwarm(tor, SwarmConfig{Seeds: 3, SeedCap: 50 * netem.KBps, Leeches: cfg.Leeches, Slots: 2})
+
+		mob := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps, BER: cfg.BER})
+		base := bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2}
+		client := wp2p.New(v.cfg(base))
+		client.Start()
+
+		h := mobility.NewHandoff(w.Engine, w.Net, mob.Iface,
+			mobility.NewIPAllocator(netem.IP(5000+i*1000)), cfg.HandoffPeriod)
+		if client.RR() == nil {
+			// Without RR someone must re-initiate the dead task, as the
+			// default client's user/OS eventually does.
+			mobility.DefaultReaction(w.Engine, h, &wp2pRestarter{c: client}, 15*time.Second)
+		}
+		h.Start()
+
+		w.Engine.RunFor(cfg.Horizon)
+		have := client.BT.Have()
+		if have.Count() > 0 {
+			playable = 100 * playableShareOfFetched(have, tor)
+		}
+		return mb(client.BT.Downloaded()), playable
+	}
+
+	var xs, mbs, plays []float64
+	for i, v := range variants {
+		var dl, play float64
+		for r := 0; r < cfg.Runs; r++ {
+			d, p := runVariant(i, v, cfg.Seed+int64(r)*431)
+			dl += d / float64(cfg.Runs)
+			play += p / float64(cfg.Runs)
+		}
+		xs = append(xs, float64(i))
+		mbs = append(mbs, dl)
+		plays = append(plays, play)
+		res.Note("%d=%s: %.1f MB, playable %.0f%% of fetched (mean of %d runs)", i, v.name, dl, play, cfg.Runs)
+	}
+	res.AddSeries("MB downloaded", xs, mbs)
+	res.AddSeries("playable % of fetched", xs, plays)
+	return res
+}
+
+// playableShareOfFetched is the in-order prefix as a share of what was
+// fetched (not of the whole file), isolating fetch-ordering quality from
+// throughput.
+func playableShareOfFetched(have *bt.Bitfield, tor *bt.MetaInfo) float64 {
+	fetched := 0.0
+	prefix := 0.0
+	for i := 0; i < have.Len(); i++ {
+		if have.Has(i) {
+			fetched += float64(tor.PieceSize(i))
+		}
+	}
+	for i := 0; i < have.PrefixLen(); i++ {
+		prefix += float64(tor.PieceSize(i))
+	}
+	if fetched == 0 {
+		return 0
+	}
+	return prefix / fetched
+}
+
+// wp2pRestarter adapts a wp2p.Client to the mobility.Restarter interface,
+// routing through OnAddressChange so identity policy is honoured.
+type wp2pRestarter struct{ c *wp2p.Client }
+
+func (r *wp2pRestarter) Restart(bool) { r.c.OnAddressChange() }
+
+// SeedLIHDConfig parameterizes the foreground-protection extension.
+type SeedLIHDConfig struct {
+	Scale   float64
+	Horizon time.Duration
+	Rate    netem.Rate // shared channel bandwidth
+	Seed    int64
+}
+
+func (c SeedLIHDConfig) withDefaults() SeedLIHDConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Horizon == 0 {
+		c.Horizon = scaledDur(15*time.Minute, c.Scale, 5*time.Minute)
+	}
+	if c.Rate == 0 {
+		c.Rate = 150 * netem.KBps
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ExtSeedLIHD implements the extension the paper names as future work in
+// §4.2: when the mobile peer stays on as a seed, LIHD can throttle its
+// uploads to protect the downloads of the host's *other* applications. A
+// mobile host seeds a popular file while the user runs a foreground bulk
+// download (a plain TCP transfer) over the same half-duplex WLAN. Three
+// variants: seeding uncapped, not seeding at all, and seeding under LIHD
+// driven by the foreground transfer's rate.
+func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "ext-seedlihd",
+		Title:  "LIHD protecting foreground traffic while seeding (paper §4.2 future work)",
+		XLabel: "variant (0=uncapped seed, 1=no seeding, 2=LIHD seed)",
+		YLabel: "foreground download KB/s / P2P upload KB/s",
+	}
+
+	run := func(seeding bool, lihd bool) (fgRate, upRate float64) {
+		w := NewWorld(cfg.Seed, time.Minute)
+		tor := bt.NewMetaInfo("shared.iso", scaled(256*1024*1024, cfg.Scale, 16*1024*1024), 256*1024)
+		// Hungry leeches make upload demand on the mobile seed unbounded.
+		w.PopulateSwarm(tor, SwarmConfig{Seeds: 1, SeedCap: 10 * netem.KBps, Leeches: 8, Slots: 3})
+
+		mob := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate})
+
+		// Foreground application: a bulk TCP download from a wired server.
+		server := w.WiredHost(0, 0)
+		var fgConn *tcp.Conn
+		server.Stack.Listen(8080, func(c *tcp.Conn) { fgConn = c })
+		fgRx := metrics.NewRateEstimator(0)
+		var fgTotal int64
+		dl := mob.Stack.Dial(netem.Addr{IP: server.Iface.IP(), Port: 8080})
+		dl.OnDeliver = func(n int) {
+			fgTotal += int64(n)
+			fgRx.Add(w.Engine.Now(), int64(n))
+		}
+		w.Engine.RunFor(2 * time.Second)
+		if fgConn != nil {
+			fgConn.Write(1 << 30)
+		}
+
+		var seedUp func() int64 = func() int64 { return 0 }
+		if seeding {
+			base := bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true, UnchokeSlots: 3}
+			if lihd {
+				lim := bt.NewLimiter(w.Engine, cfg.Rate/2)
+				base.UploadLimiter = lim
+				c := bt.NewClient(base)
+				ctl := wp2p.NewLIHD(w.Engine, lim, wp2p.RateSourceFunc(func() float64 {
+					return fgRx.Rate(w.Engine.Now())
+				}), wp2p.LIHDConfig{Umax: cfg.Rate, Period: 20 * time.Second})
+				c.Start()
+				ctl.Start()
+				seedUp = c.Uploaded
+			} else {
+				c := bt.NewClient(base)
+				c.Start()
+				seedUp = c.Uploaded
+			}
+		}
+		w.Engine.RunFor(cfg.Horizon)
+		secs := cfg.Horizon.Seconds()
+		return float64(fgTotal) / secs, float64(seedUp()) / secs
+	}
+
+	fg0, up0 := run(true, false)
+	fg1, _ := run(false, false)
+	fg2, up2 := run(true, true)
+	res.AddSeries("foreground KB/s", []float64{0, 1, 2}, []float64{kbps(fg0), kbps(fg1), kbps(fg2)})
+	res.AddSeries("P2P upload KB/s", []float64{0, 1, 2}, []float64{kbps(up0), 0, kbps(up2)})
+	res.Note("uncapped seeding costs the foreground %.0f%% of its no-seeding rate; LIHD recovers it to %.0f%% while still uploading %.0f KB/s",
+		100*(1-fg0/fg1), 100*fg2/fg1, kbps(up2))
+	return res
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/tcp"
+)
+
+// Fig2aConfig parameterizes the bi- vs uni-directional TCP comparison.
+type Fig2aConfig struct {
+	BERs     []float64     // x-axis (default: 0 … 2e-5, the paper's range)
+	Duration time.Duration // measurement window per point (default 2 min)
+	Runs     int           // averaged runs per point (paper: 5)
+	Rate     netem.Rate    // wireless channel bandwidth (default 100 KB/s)
+	Seed     int64
+}
+
+func (c Fig2aConfig) withDefaults() Fig2aConfig {
+	if len(c.BERs) == 0 {
+		c.BERs = []float64{0, 5e-6, 1e-5, 1.5e-5, 2e-5}
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Rate == 0 {
+		c.Rate = 100 * netem.KBps
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig2aBiVsUniTCP reproduces Figure 2(a): the download throughput of a
+// mobile peer over a lossy wireless leg, with data flowing one way
+// (uni-TCP) versus both ways on one connection (bi-TCP, the P2P mode).
+// Bi-directional transfer suffers twice: uploads contend with downloads on
+// the half-duplex channel, and ACKs piggybacked on large data packets are
+// corrupted far more often than pure 40-byte ACKs.
+func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig2a",
+		Title:  "Impact of bi-directional TCP under wireless losses (paper Fig. 2a)",
+		XLabel: "BER",
+		YLabel: "download throughput (KB/s)",
+	}
+	measure := func(bidirectional bool, ber float64, run int) float64 {
+		w := NewWorld(cfg.Seed+int64(run)*100+1, 0)
+		fixed := w.WiredHost(0, 0)
+		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, BER: ber})
+		var server *tcp.Conn
+		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
+		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
+		w.Engine.RunFor(3 * time.Second)
+		if server == nil {
+			return 0
+		}
+		var rcvd int64
+		client.OnDeliver = func(n int) { rcvd += int64(n) }
+		const plenty = 1 << 30
+		server.Write(plenty) // fixed peer streams to the mobile
+		if bidirectional {
+			client.Write(plenty) // mobile streams back on the same connection
+		}
+		start := w.Engine.Now()
+		w.Engine.RunFor(cfg.Duration)
+		return float64(rcvd) / (w.Engine.Now() - start).Seconds()
+	}
+
+	var biY, uniY []float64
+	for _, ber := range cfg.BERs {
+		var bi, uni float64
+		for r := 0; r < cfg.Runs; r++ {
+			bi += measure(true, ber, r)
+			uni += measure(false, ber, r)
+		}
+		biY = append(biY, kbps(bi/float64(cfg.Runs)))
+		uniY = append(uniY, kbps(uni/float64(cfg.Runs)))
+	}
+	res.AddSeries("Bi-TCP", cfg.BERs, biY)
+	res.AddSeries("Uni-TCP", cfg.BERs, uniY)
+	if n := len(cfg.BERs) - 1; n > 0 && biY[n] > 0 {
+		res.Note("at BER %.1e uni-TCP delivers %.1fx the bi-TCP throughput", cfg.BERs[n], uniY[n]/biY[n])
+	}
+	return res
+}
+
+// Fig2bcConfig parameterizes the packets-on-the-wireless-leg trace.
+type Fig2bcConfig struct {
+	Duration time.Duration // trace length (default 5 s, as in the figure)
+	Sample   time.Duration // sampling period (default 100 ms)
+	Rate     netem.Rate    // wireless bandwidth (default 100 KB/s)
+	QueueCap int           // small buffer to force congestion (default 10)
+	Seed     int64
+}
+
+func (c Fig2bcConfig) withDefaults() Fig2bcConfig {
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Sample == 0 {
+		c.Sample = 100 * time.Millisecond
+	}
+	if c.Rate == 0 {
+		c.Rate = 100 * netem.KBps
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig2bcPacketsAfterDrop reproduces Figure 2(b,c): the number of packets in
+// transit on the wireless leg around congestion (buffer-drop) events. For a
+// uni-directional connection the count falls after a drop, as congestion
+// control intends; for a bi-directional connection the pure DUPACKs
+// injected on the reverse path offset the data-packet decrease, so the leg
+// stays as loaded as before — the misbehaviour wP2P's DUPACK thinning
+// corrects.
+func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig2bc",
+		Title:  "Packets on the wireless leg around buffer drops (paper Fig. 2b,c)",
+		XLabel: "time (s)",
+		YLabel: "packets in transit / drops per interval",
+	}
+	trace := func(bidirectional bool) (times, pkts, drops []float64, postDropAvg float64) {
+		w := NewWorld(cfg.Seed, 0)
+		fixed := w.WiredHost(0, 0)
+		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, QueueCap: cfg.QueueCap})
+		dropsNow := 0
+		totalAfter, samplesAfter := 0.0, 0
+		sawDrop := false
+		mobile.WLAN.OnDrop(func(*netem.Packet, netem.DropReason) { dropsNow++ })
+
+		var server *tcp.Conn
+		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
+		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
+		w.Engine.RunFor(2 * time.Second)
+		if server == nil {
+			return nil, nil, nil, 0
+		}
+		const plenty = 1 << 30
+		server.Write(plenty)
+		if bidirectional {
+			client.Write(plenty)
+		}
+		start := w.Engine.Now()
+		for w.Engine.Now()-start < cfg.Duration {
+			w.Engine.RunFor(cfg.Sample)
+			t := (w.Engine.Now() - start).Seconds()
+			inFlight := float64(mobile.WLAN.InFlight())
+			times = append(times, t)
+			pkts = append(pkts, inFlight)
+			drops = append(drops, float64(dropsNow))
+			if dropsNow > 0 {
+				sawDrop = true
+			}
+			if sawDrop {
+				totalAfter += inFlight
+				samplesAfter++
+			}
+			dropsNow = 0
+		}
+		if samplesAfter > 0 {
+			postDropAvg = totalAfter / float64(samplesAfter)
+		}
+		return times, pkts, drops, postDropAvg
+	}
+
+	tu, pu, du, uniAvg := trace(false)
+	_, pb, db, biAvg := trace(true)
+	res.AddSeries("uni packets", tu, pu)
+	res.AddSeries("uni drops", tu, du)
+	res.AddSeries("bi packets", tu, pb)
+	res.AddSeries("bi drops", tu, db)
+	res.Note("mean packets on leg after first drop: uni=%.1f bi=%.1f (bi stays loaded)", uniAvg, biAvg)
+	return res
+}

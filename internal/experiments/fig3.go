@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/mobility"
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+// Fig3Config parameterizes the upload-cap sweeps of Figures 3(a) and 3(b).
+type Fig3Config struct {
+	// Scale shrinks file sizes and durations for quick runs (1.0 = full).
+	Scale float64
+	// CapFractions is the x-axis: upload limit as a fraction of the
+	// physical upstream bandwidth (default 0…0.9, the paper's sweep).
+	CapFractions []float64
+	// Tasks is the number of simultaneous downloads (paper: 5).
+	Tasks int
+	// LeechesPerSwarm is how many fixed leeches compete in each swarm.
+	LeechesPerSwarm int
+	// Runs averages several differently-seeded swarms per point.
+	Runs int
+	Seed int64
+}
+
+func (c Fig3Config) withDefaults() Fig3Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.CapFractions) == 0 {
+		c.CapFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 5
+	}
+	if c.LeechesPerSwarm == 0 {
+		c.LeechesPerSwarm = 6
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// uploadCapAveraged averages uploadCapPoint over cfg.Runs seeds.
+func uploadCapAveraged(cfg Fig3Config, wireless bool, capFrac float64) float64 {
+	sum := 0.0
+	for r := 0; r < cfg.Runs; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)*211
+		sum += uploadCapPoint(c, wireless, capFrac)
+	}
+	return sum / float64(cfg.Runs)
+}
+
+// Contested-swarm parameters: seed capacity is scarce, so leech
+// reciprocation (gated by tit-for-tat unchoke slots) is the main source of
+// bandwidth, and the files are large enough that nothing completes within
+// the horizon — the sweep measures steady-state rates.
+const (
+	fig3SeedCap  = 20 * netem.KBps
+	fig3Slots    = 3
+	fig3FileBase = 100 * 1024 * 1024
+)
+
+// uploadCapPoint measures the mobile host's aggregate download rate across
+// Tasks swarms with its upload capped at capFrac of the physical upstream.
+func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64) float64 {
+	w := NewWorld(cfg.Seed, time.Minute)
+	var mob *Host
+	var physUp netem.Rate
+	if wireless {
+		// Shared half-duplex WLAN: uploads and downloads contend.
+		const wlRate = 200 * netem.KBps
+		mob = w.WirelessHost(netem.WirelessConfig{Rate: wlRate})
+		physUp = wlRate
+	} else {
+		// The paper's cable modem: 4 Mbps down / 384 Kbps up; directions
+		// are independent.
+		mob = w.WiredHost(netem.Kbps(384), netem.Mbps(4))
+		physUp = netem.Kbps(384)
+	}
+	capRate := netem.Rate(capFrac * float64(physUp))
+	if capRate <= 0 {
+		capRate = 1 // "no uploading": starve rather than disable the cap
+	}
+	shared := bt.NewLimiter(w.Engine, capRate)
+
+	fileSize := scaled(fig3FileBase, cfg.Scale, 4*1024*1024)
+	duration := scaledDur(10*time.Minute, cfg.Scale, 2*time.Minute)
+
+	var mine []*bt.Client
+	for task := 0; task < cfg.Tasks; task++ {
+		tor := bt.NewMetaInfo(fmt.Sprintf("task-%d", task), fileSize, 256*1024)
+		seed := bt.NewClient(bt.Config{
+			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, fig3SeedCap),
+			UnchokeSlots: fig3Slots,
+		})
+		seed.Start()
+		for i := 0; i < cfg.LeechesPerSwarm; i++ {
+			// Live-swarm stand-in: leeches joined at different times (each
+			// already holds a random 30–80% of the pieces, so content is
+			// plentiful) with diverse uplinks. Half are well-provisioned,
+			// half are near-free-riders — the marginal peers a reciprocating
+			// mobile host can outbid for unchoke slots, which is what makes
+			// tit-for-tat pay off in real swarms.
+			var up netem.Rate
+			if i%2 == 0 {
+				up = netem.Rate(10+w.Engine.Rand().Int63n(40)) * netem.KBps
+			} else {
+				up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
+			}
+			l := bt.NewClient(bt.Config{
+				Stack:         w.WiredHost(0, 0).Stack,
+				Torrent:       tor,
+				Tracker:       w.Tracker,
+				UnchokeSlots:  fig3Slots,
+				UploadLimiter: bt.NewLimiter(w.Engine, up),
+				InitialHave:   randomHave(w, tor, 0.3+0.5*w.Engine.Rand().Float64()),
+			})
+			l.Start()
+		}
+		me := bt.NewClient(bt.Config{
+			Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker,
+			Port: uint16(6881 + task), UploadLimiter: shared, UnchokeSlots: fig3Slots,
+		})
+		me.Start()
+		mine = append(mine, me)
+	}
+	w.Engine.RunFor(duration)
+	var total int64
+	for _, c := range mine {
+		total += c.Downloaded()
+	}
+	return float64(total) / duration.Seconds()
+}
+
+// Fig3aUploadCapWired reproduces Figure 3(a): on a wired access link the
+// aggregate download rate of five simultaneous tasks increases with the
+// upload-rate limit — tit-for-tat rewards generosity and the upstream
+// never contends with the downstream.
+func Fig3aUploadCapWired(cfg Fig3Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig3a",
+		Title:  "Download rate vs upload cap, wired access (paper Fig. 3a)",
+		XLabel: "upload cap (% of physical up-bw)",
+		YLabel: "aggregate download throughput (KB/s)",
+	}
+	x := make([]float64, len(cfg.CapFractions))
+	y := make([]float64, len(cfg.CapFractions))
+	for i, f := range cfg.CapFractions {
+		x[i] = f * 100
+		y[i] = kbps(uploadCapAveraged(cfg, false, f))
+	}
+	res.AddSeries("wired", x, y)
+	res.Note("expected shape: monotone-increasing (more upload buys more reciprocation)")
+	return res
+}
+
+// Fig3bUploadCapWireless reproduces Figure 3(b): on a shared half-duplex
+// WLAN the same sweep is unimodal — past a modest cap the mobile host's
+// own uploads contend with its downloads and the aggregate rate falls.
+// LIHD (Figure 8c) exists to sit at this curve's peak automatically.
+func Fig3bUploadCapWireless(cfg Fig3Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig3b",
+		Title:  "Download rate vs upload cap, shared WLAN (paper Fig. 3b)",
+		XLabel: "upload cap (% of physical bw)",
+		YLabel: "aggregate download throughput (KB/s)",
+	}
+	x := make([]float64, len(cfg.CapFractions))
+	y := make([]float64, len(cfg.CapFractions))
+	for i, f := range cfg.CapFractions {
+		x[i] = f * 100
+		y[i] = kbps(uploadCapAveraged(cfg, true, f))
+	}
+	res.AddSeries("wireless", x, y)
+	peakAt, peak := 0.0, 0.0
+	for i, v := range y {
+		if v > peak {
+			peak, peakAt = v, x[i]
+		}
+	}
+	res.Note("peak %.0f KB/s at %.0f%% cap; expected shape: rise, peak well below 80%%, then fall", peak, peakAt)
+	return res
+}
+
+// Fig3cConfig parameterizes the incentive × mobility matrix.
+type Fig3cConfig struct {
+	Scale         float64
+	Horizon       time.Duration // observation window (paper: 40 min)
+	HandoffPeriod time.Duration // IP change period under mobility (≈2 min)
+	SamplePeriod  time.Duration // progress sampling (default 2 min)
+	FileSize      int64         // paper: 100 MB
+	Leeches       int           // fixed leeches competing for slots
+	Runs          int           // averaged runs per configuration
+	Seed          int64
+}
+
+func (c Fig3cConfig) withDefaults() Fig3cConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Horizon == 0 {
+		c.Horizon = scaledDur(40*time.Minute, c.Scale, 6*time.Minute)
+	}
+	if c.HandoffPeriod == 0 {
+		c.HandoffPeriod = 2 * time.Minute
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = c.Horizon / 20
+	}
+	if c.FileSize == 0 {
+		c.FileSize = scaled(400*1024*1024, c.Scale, 24*1024*1024)
+	}
+	if c.Leeches == 0 {
+		c.Leeches = 6
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig3cIncentiveMobility reproduces Figure 3(c): downloaded size over time
+// for {mobility, no mobility} × {uploading, no uploading}. Without
+// mobility, uploading buys a clear tit-for-tat advantage; with mobility the
+// peer-id regenerates on every task re-initiation, so accumulated credit is
+// lost and the advantage of uploading all but disappears.
+func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig3c",
+		Title:  "Incentives under mobility (paper Fig. 3c)",
+		XLabel: "time (min)",
+		YLabel: "downloaded size (MB)",
+	}
+
+	runOnce := func(mobile, uploading bool, rngSeed int64) (x, y []float64) {
+		w := NewWorld(rngSeed, time.Minute)
+		tor := bt.NewMetaInfo("fig3c", cfg.FileSize, 256*1024)
+		seed := bt.NewClient(bt.Config{
+			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, fig3SeedCap),
+			UnchokeSlots: fig3Slots,
+		})
+		seed.Start()
+		for i := 0; i < cfg.Leeches; i++ {
+			// Same contested-swarm construction as Figures 3(a,b): diverse
+			// content, diverse uplinks, scarce slots — so tit-for-tat
+			// standing actually gates the mobile's download.
+			var up netem.Rate
+			if i%2 == 0 {
+				up = netem.Rate(10+w.Engine.Rand().Int63n(40)) * netem.KBps
+			} else {
+				up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
+			}
+			bt.NewClient(bt.Config{
+				Stack:         w.WiredHost(0, 0).Stack,
+				Torrent:       tor,
+				Tracker:       w.Tracker,
+				UnchokeSlots:  fig3Slots,
+				UploadLimiter: bt.NewLimiter(w.Engine, up),
+				InitialHave:   randomHave(w, tor, 0.3+0.5*w.Engine.Rand().Float64()),
+			}).Start()
+		}
+		mobHost := w.WirelessHost(netem.WirelessConfig{Rate: 300 * netem.KBps})
+		mobCfg := bt.Config{
+			Stack: mobHost.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: fig3Slots,
+		}
+		if !uploading {
+			mobCfg.UploadLimiter = bt.NewLimiter(w.Engine, 1)
+		}
+		me := bt.NewClient(mobCfg)
+		me.Start()
+
+		if mobile {
+			h := mobility.NewHandoff(w.Engine, w.Net, mobHost.Iface, mobility.NewIPAllocator(1000), cfg.HandoffPeriod)
+			mobility.DefaultReaction(w.Engine, h, me, 5*time.Second)
+			h.Start()
+		}
+		for t := cfg.SamplePeriod; t <= cfg.Horizon; t += cfg.SamplePeriod {
+			w.Engine.RunFor(cfg.SamplePeriod)
+			x = append(x, t.Minutes())
+			y = append(y, mb(me.Downloaded()))
+		}
+		return x, y
+	}
+
+	run := func(mobile, uploading bool) (x, avg []float64) {
+		for r := 0; r < cfg.Runs; r++ {
+			xs, ys := runOnce(mobile, uploading, cfg.Seed+int64(r)*811)
+			if avg == nil {
+				x = xs
+				avg = make([]float64, len(ys))
+			}
+			for i := range ys {
+				avg[i] += ys[i] / float64(cfg.Runs)
+			}
+		}
+		return x, avg
+	}
+
+	x, y := run(false, true)
+	res.AddSeries("no mobility, uploading", x, y)
+	_, y2 := run(false, false)
+	res.AddSeries("no mobility, no uploading", x, y2)
+	_, y3 := run(true, true)
+	res.AddSeries("mobility, uploading", x, y3)
+	_, y4 := run(true, false)
+	res.AddSeries("mobility, no uploading", x, y4)
+	last := len(x) - 1
+	if last >= 0 {
+		res.Note("final MB: noMob/up=%.1f noMob/noUp=%.1f mob/up=%.1f mob/noUp=%.1f",
+			y[last], y2[last], y3[last], y4[last])
+		res.Note("expected: uploading helps without mobility; with mobility the gap collapses")
+	}
+	return res
+}

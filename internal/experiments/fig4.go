@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/media"
+	"github.com/wp2p/wp2p/internal/mobility"
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+// Fig4aConfig parameterizes the server-mobility experiment.
+type Fig4aConfig struct {
+	Scale   float64
+	Periods []time.Duration // IP-change periods; 0 = no mobility
+	Seeds   int             // mobile seeds serving the fixed peer (paper: 3)
+	Horizon time.Duration
+	Seed    int64
+}
+
+func (c Fig4aConfig) withDefaults() Fig4aConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.Periods) == 0 {
+		c.Periods = []time.Duration{0, 2 * time.Minute, 90 * time.Second, time.Minute, 30 * time.Second}
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	if c.Horizon == 0 {
+		c.Horizon = scaledDur(20*time.Minute, c.Scale, 5*time.Minute)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig4aServerMobility reproduces Figure 4(a): the throughput a fixed peer
+// gets when its serving peers are mobile hosts whose addresses change.
+// The fixed peer keeps trying the stale addresses until TCP gives up and
+// only learns new ones at tracker-announce granularity, so throughput falls
+// with mobility rate, and collapses when every serving peer is mobile.
+func Fig4aServerMobility(cfg Fig4aConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig4a",
+		Title:  "Fixed-peer throughput vs server mobility (paper Fig. 4a)",
+		XLabel: "IP-change period (min; 0 = static)",
+		YLabel: "download throughput (KB/s)",
+	}
+
+	run := func(period time.Duration, mobileSeeds int) float64 {
+		w := NewWorld(cfg.Seed, 2*time.Minute)
+		// Large enough that the fixed peer cannot finish inside the horizon;
+		// the sweep measures sustained throughput.
+		tor := bt.NewMetaInfo("fig4a", scaled(1024*1024*1024, cfg.Scale, 64*1024*1024), 256*1024)
+		for i := 0; i < cfg.Seeds; i++ {
+			host := w.WiredHost(300*netem.KBps, 0)
+			bt.NewClient(bt.Config{
+				Stack: host.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true,
+			}).Start()
+			if i < mobileSeeds && period > 0 {
+				// Oblivious mobile seed: the client never notices the
+				// address change; the swarm relearns it via announces.
+				h := mobility.NewHandoff(w.Engine, w.Net, host.Iface,
+					mobility.NewIPAllocator(netem.IP(1000+i*1000)), period)
+				h.Start()
+			}
+		}
+		fixed := bt.NewClient(bt.Config{
+			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+		})
+		fixed.Start()
+		w.Engine.RunFor(cfg.Horizon)
+		window := cfg.Horizon
+		if at := fixed.CompletedAt(); at > 0 && at < window {
+			window = at
+		}
+		return float64(fixed.Downloaded()) / window.Seconds()
+	}
+
+	x := make([]float64, len(cfg.Periods))
+	one := make([]float64, len(cfg.Periods))
+	all := make([]float64, len(cfg.Periods))
+	for i, p := range cfg.Periods {
+		x[i] = p.Minutes()
+		one[i] = kbps(run(p, 1))
+		all[i] = kbps(run(p, cfg.Seeds))
+	}
+	res.AddSeries("one peer is mobile", x, one)
+	res.AddSeries("all peers are mobile", x, all)
+	res.Note("expected: throughput falls as the period shrinks; all-mobile falls hardest")
+	return res
+}
+
+// FigPlayConfig parameterizes the playability experiments (Figures 4(b,c)
+// and 9(a,b)).
+type FigPlayConfig struct {
+	Scale float64
+	// FileSizes for the two sub-figures (paper: 5 MB and 100 MB).
+	FileSizes []int64
+	Runs      int // averaged runs (paper: 10 for Fig 4, 20 for Fig 9)
+	Seed      int64
+}
+
+func (c FigPlayConfig) withDefaults() FigPlayConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if len(c.FileSizes) == 0 {
+		c.FileSizes = []int64{
+			5 * 1024 * 1024,
+			scaled(100*1024*1024, c.Scale, 10*1024*1024),
+		}
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// playabilityCurve downloads the file once with the given picker and
+// returns the playable fraction observed at each 10% download level.
+func playabilityCurve(seed int64, fileSize int64, picker bt.Picker) []float64 {
+	w := NewWorld(seed, time.Minute)
+	tor := bt.NewMetaInfo("play", fileSize, 256*1024)
+	// Two seeds so rarest-first has realistic availability spread.
+	for i := 0; i < 2; i++ {
+		bt.NewClient(bt.Config{
+			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker, Seed: true,
+		}).Start()
+	}
+	leech := bt.NewClient(bt.Config{
+		Stack:   w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps}).Stack,
+		Torrent: tor, Tracker: w.Tracker, Picker: picker,
+	})
+	curve := media.NewCurve(tor)
+	leech.OnPieceComplete = func(int) { curve.Observe(leech.Have()) }
+	leech.Start()
+	// Generously long: stop as soon as complete.
+	deadline := w.Engine.Now() + 4*time.Hour
+	for !leech.Complete() && w.Engine.Now() < deadline {
+		w.Engine.RunFor(30 * time.Second)
+	}
+	out := make([]float64, 0, 10)
+	for d := 10; d <= 100; d += 10 {
+		out = append(out, 100*curve.PlayableAt(float64(d)/100))
+	}
+	return out
+}
+
+func averagedCurves(cfg FigPlayConfig, fileSize int64, picker func() bt.Picker) []float64 {
+	acc := make([]float64, 10)
+	for r := 0; r < cfg.Runs; r++ {
+		c := playabilityCurve(cfg.Seed+int64(r)*101, fileSize, picker())
+		for i := range acc {
+			acc[i] += c[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(cfg.Runs)
+	}
+	return acc
+}
+
+var downloadedPctAxis = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Fig4bcRarestPlayability reproduces Figure 4(b,c): under rarest-first
+// fetching, almost nothing from the head of the file is in sequence until
+// the download nears completion, so a disconnection strands the mobile user
+// with unplayable content.
+func Fig4bcRarestPlayability(cfg FigPlayConfig) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		ID:     "fig4bc",
+		Title:  "Playable share under rarest-first fetching (paper Fig. 4b,c)",
+		XLabel: "downloaded (%)",
+		YLabel: "playable (%)",
+	}
+	for _, size := range cfg.FileSizes {
+		y := averagedCurves(cfg, size, func() bt.Picker { return bt.RarestFirst{} })
+		res.AddSeries(sizeLabel(size), downloadedPctAxis, y)
+		res.Note("%s: playable at 60%% downloaded = %.1f%% (paper: <10%% for 5 MB)", sizeLabel(size), y[5])
+	}
+	return res
+}
+
+func sizeLabel(size int64) string {
+	return formatNum(float64(size)/(1024*1024)) + "MB"
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/tcp"
+)
+
+// World bundles a simulation universe for one experiment run: engine,
+// network, tracker, and address allocation.
+type World struct {
+	Engine  *sim.Engine
+	Net     *netem.Network
+	Tracker *bt.Tracker
+
+	nextIP netem.IP
+}
+
+// NewWorld builds a world with the given seed and tracker announce
+// interval (zero selects the bt default).
+func NewWorld(seed int64, announce time.Duration) *World {
+	e := sim.NewEngine(sim.WithSeed(seed))
+	return &World{
+		Engine:  e,
+		Net:     netem.NewNetwork(e, netem.NetworkConfig{CloudDelay: 15 * time.Millisecond}),
+		Tracker: bt.NewTracker(e, bt.TrackerConfig{Interval: announce}),
+		nextIP:  netem.IP(10),
+	}
+}
+
+// NextIP hands out a fresh host address.
+func (w *World) NextIP() netem.IP {
+	ip := w.nextIP
+	w.nextIP++
+	return ip
+}
+
+// Host is one machine: its interface, medium, and TCP stack.
+type Host struct {
+	Stack *tcp.Stack
+	Iface *netem.Iface
+	Link  *netem.AccessLink      // non-nil for wired hosts
+	WLAN  *netem.WirelessChannel // non-nil for wireless hosts
+}
+
+// WiredHost attaches a host behind a full-duplex access link. Zero rates
+// default to 1 MB/s each way.
+func (w *World) WiredHost(up, down netem.Rate) *Host {
+	if up == 0 {
+		up = 1 * netem.MBps
+	}
+	if down == 0 {
+		down = 1 * netem.MBps
+	}
+	link := netem.NewAccessLink(w.Engine, netem.AccessLinkConfig{
+		UpRate: up, DownRate: down, Delay: time.Millisecond,
+	})
+	iface := w.Net.Attach(w.NextIP(), link, nil)
+	return &Host{
+		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
+		Iface: iface,
+		Link:  link,
+	}
+}
+
+// DefaultWirelessOverhead is the per-packet channel-access cost used for
+// experiment WLANs: roughly the 802.11 preamble + interframe spacing + MAC
+// acknowledgement, scaled to the modelled channel rates (a full data packet
+// serializes in ~10 ms at 150 KB/s, so 2 ms ≈ the real ~20% fixed-cost
+// share).
+const DefaultWirelessOverhead = 2 * time.Millisecond
+
+// WirelessHost attaches a host behind its own shared half-duplex channel
+// (the paper runs each mobile client behind its own ns-2 wireless
+// emulator).
+func (w *World) WirelessHost(cfg netem.WirelessConfig) *Host {
+	if cfg.Rate == 0 {
+		cfg.Rate = 500 * netem.KBps
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	if cfg.Overhead == 0 {
+		cfg.Overhead = DefaultWirelessOverhead
+	}
+	ch := netem.NewWirelessChannel(w.Engine, cfg)
+	iface := w.Net.Attach(w.NextIP(), ch, nil)
+	return &Host{
+		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
+		Iface: iface,
+		WLAN:  ch,
+	}
+}
+
+// BTConfig builds a client config bound to this world's tracker.
+func (w *World) BTConfig(h *Host, torrent *bt.MetaInfo) bt.Config {
+	return bt.Config{Stack: h.Stack, Torrent: torrent, Tracker: w.Tracker}
+}
+
+// scaled multiplies n by scale with a floor of lo.
+func scaled(n int64, scale float64, lo int64) int64 {
+	v := int64(float64(n) * scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// scaledDur multiplies d by scale with a floor.
+func scaledDur(d time.Duration, scale float64, lo time.Duration) time.Duration {
+	v := time.Duration(float64(d) * scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// SwarmConfig describes the fixed-peer population of a contested swarm.
+type SwarmConfig struct {
+	Seeds   int        // full-content peers
+	SeedCap netem.Rate // per-seed upload cap
+	Leeches int        // partially complete fixed peers
+	Slots   int        // unchoke slots for every fixed peer
+}
+
+// PopulateSwarm builds a scaled-down stand-in for a live swarm: capped
+// seeds plus leeches that joined at different times (random 30–80% piece
+// maps, so content is diverse and plentiful) with alternating strong and
+// near-free-rider uplinks. Scarce unchoke slots contested against rivals of
+// diverse strength are what make tit-for-tat standing — and hence upload
+// behaviour and identity — matter, as they do in real swarms.
+func (w *World) PopulateSwarm(tor *bt.MetaInfo, cfg SwarmConfig) []*bt.Client {
+	if cfg.Slots == 0 {
+		cfg.Slots = 2
+	}
+	if cfg.SeedCap == 0 {
+		cfg.SeedCap = 30 * netem.KBps
+	}
+	out := make([]*bt.Client, 0, cfg.Seeds+cfg.Leeches)
+	for i := 0; i < cfg.Seeds; i++ {
+		c := bt.NewClient(bt.Config{
+			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, cfg.SeedCap),
+			UnchokeSlots: cfg.Slots,
+		})
+		c.Start()
+		out = append(out, c)
+	}
+	for i := 0; i < cfg.Leeches; i++ {
+		var up netem.Rate
+		if i%2 == 0 {
+			up = netem.Rate(10+w.Engine.Rand().Int63n(40)) * netem.KBps
+		} else {
+			up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
+		}
+		c := bt.NewClient(bt.Config{
+			Stack:         w.WiredHost(0, 0).Stack,
+			Torrent:       tor,
+			Tracker:       w.Tracker,
+			UnchokeSlots:  cfg.Slots,
+			UploadLimiter: bt.NewLimiter(w.Engine, up),
+			InitialHave:   randomHave(w, tor, 0.3+0.5*w.Engine.Rand().Float64()),
+		})
+		c.Start()
+		out = append(out, c)
+	}
+	return out
+}
+
+// randomHave builds a piece map with roughly the given fraction of pieces
+// set, drawn from the world's deterministic RNG.
+func randomHave(w *World, tor *bt.MetaInfo, fraction float64) *bt.Bitfield {
+	have := bt.NewBitfield(tor.NumPieces())
+	for i := 0; i < have.Len(); i++ {
+		if w.Engine.Rand().Float64() < fraction {
+			have.Set(i)
+		}
+	}
+	return have
+}
+
+// kbps converts bytes/second to KB/s for reporting.
+func kbps(bytesPerSec float64) float64 { return bytesPerSec / 1000 }
+
+// mb converts bytes to megabytes for reporting.
+func mb(bytes int64) float64 { return float64(bytes) / 1e6 }

@@ -1,0 +1,175 @@
+// Package metrics provides measurement primitives for simulations: sliding
+// window rate estimation (the quantity BitTorrent's tit-for-tat ranks peers
+// by), time series recording for figures, and summary statistics.
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// RateEstimator measures a byte rate over a sliding time window, the way
+// BitTorrent clients estimate per-peer transfer rates for choking decisions.
+// The zero value is not usable; create estimators with NewRateEstimator.
+type RateEstimator struct {
+	window  time.Duration
+	samples []sample
+	total   int64
+}
+
+type sample struct {
+	at time.Duration
+	n  int64
+}
+
+// DefaultRateWindow matches the ~20s averaging BitTorrent clients use.
+const DefaultRateWindow = 20 * time.Second
+
+// NewRateEstimator creates an estimator with the given sliding window; if
+// window is zero, DefaultRateWindow is used.
+func NewRateEstimator(window time.Duration) *RateEstimator {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	return &RateEstimator{window: window}
+}
+
+// Add records n bytes transferred at virtual time now.
+func (r *RateEstimator) Add(now time.Duration, n int64) {
+	r.prune(now)
+	if n == 0 {
+		return
+	}
+	r.samples = append(r.samples, sample{at: now, n: n})
+	r.total += n
+}
+
+// Rate returns the average rate in bytes/second over the window ending at
+// now.
+func (r *RateEstimator) Rate(now time.Duration) float64 {
+	r.prune(now)
+	if r.window == 0 {
+		return 0
+	}
+	return float64(r.total) / r.window.Seconds()
+}
+
+// Total returns the bytes currently inside the window at time now.
+func (r *RateEstimator) Total(now time.Duration) int64 {
+	r.prune(now)
+	return r.total
+}
+
+func (r *RateEstimator) prune(now time.Duration) {
+	cutoff := now - r.window
+	i := 0
+	for i < len(r.samples) && r.samples[i].at <= cutoff {
+		r.total -= r.samples[i].n
+		i++
+	}
+	if i > 0 {
+		r.samples = append(r.samples[:0], r.samples[i:]...)
+	}
+}
+
+// Point is one time-series observation.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// TimeSeries records observations for later reporting; it is the raw data
+// behind every figure the benchmark harness regenerates.
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// Record appends an observation.
+func (ts *TimeSeries) Record(at time.Duration, v float64) {
+	ts.Points = append(ts.Points, Point{At: at, Value: v})
+}
+
+// Last returns the most recent value, or 0 if empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	return ts.Points[len(ts.Points)-1].Value
+}
+
+// Values returns just the observation values.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.Points))
+	for i, p := range ts.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// At returns the value at or immediately before t, or 0 if t precedes the
+// first observation.
+func (ts *TimeSeries) At(t time.Duration) float64 {
+	v := 0.0
+	for _, p := range ts.Points {
+		if p.At > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the smallest value in xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

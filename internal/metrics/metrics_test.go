@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateEstimatorBasic(t *testing.T) {
+	r := NewRateEstimator(10 * time.Second)
+	r.Add(1*time.Second, 1000)
+	r.Add(2*time.Second, 1000)
+	// 2000 bytes in a 10s window = 200 B/s.
+	if got := r.Rate(2 * time.Second); got != 200 {
+		t.Errorf("Rate = %v, want 200", got)
+	}
+}
+
+func TestRateEstimatorSlidesWindow(t *testing.T) {
+	r := NewRateEstimator(10 * time.Second)
+	r.Add(1*time.Second, 1000)
+	r.Add(5*time.Second, 1000)
+	// At t=12s the first sample (t=1s) has left the window.
+	if got := r.Total(12 * time.Second); got != 1000 {
+		t.Errorf("Total = %d, want 1000", got)
+	}
+	// At t=20s everything has expired.
+	if got := r.Rate(20 * time.Second); got != 0 {
+		t.Errorf("Rate = %v, want 0", got)
+	}
+}
+
+func TestRateEstimatorDefaultWindow(t *testing.T) {
+	r := NewRateEstimator(0)
+	r.Add(0, 20000)
+	if got := r.Rate(0); got != 1000 {
+		t.Errorf("Rate = %v, want 1000 (20000B / 20s default window)", got)
+	}
+}
+
+func TestRateEstimatorZeroAdd(t *testing.T) {
+	r := NewRateEstimator(time.Second)
+	r.Add(0, 0)
+	if got := r.Total(0); got != 0 {
+		t.Errorf("Total = %d", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	if ts.Last() != 0 {
+		t.Error("Last() on empty series should be 0")
+	}
+	if ts.At(time.Second) != 0 {
+		t.Error("At() on empty series should be 0")
+	}
+	ts.Record(1*time.Second, 10)
+	ts.Record(2*time.Second, 20)
+	ts.Record(3*time.Second, 30)
+	if got := ts.Last(); got != 30 {
+		t.Errorf("Last = %v", got)
+	}
+	if got := ts.At(2500 * time.Millisecond); got != 20 {
+		t.Errorf("At(2.5s) = %v, want 20", got)
+	}
+	if got := ts.At(500 * time.Millisecond); got != 0 {
+		t.Errorf("At(0.5s) = %v, want 0", got)
+	}
+	vals := ts.Values()
+	if len(vals) != 3 || vals[0] != 10 || vals[2] != 30 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestSummaryStatsEmpty(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}

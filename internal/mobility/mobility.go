@@ -1,0 +1,146 @@
+// Package mobility models mobile-host behaviour on top of netem: periodic
+// IP handoffs (the paper emulates these with ifdown/ifup), temporary
+// disconnections, and the client-side reactions of a default BitTorrent
+// client, which re-initiates its task with a fresh peer-id after an address
+// change.
+package mobility
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// IPAllocator hands out fresh addresses for handoffs. The zero value is not
+// usable; create allocators with NewIPAllocator.
+type IPAllocator struct {
+	next netem.IP
+}
+
+// NewIPAllocator returns an allocator starting at base.
+func NewIPAllocator(base netem.IP) *IPAllocator {
+	return &IPAllocator{next: base}
+}
+
+// Next returns a fresh address.
+func (a *IPAllocator) Next() netem.IP {
+	ip := a.next
+	a.next++
+	return ip
+}
+
+// Handoff periodically moves an interface to a fresh address, blackholing
+// the old one — the network-level event behind every mobility experiment in
+// the paper. The zero value is not usable; create with NewHandoff.
+type Handoff struct {
+	engine *sim.Engine
+	net    *netem.Network
+	iface  *netem.Iface
+	alloc  *IPAllocator
+	period time.Duration
+	ticker *sim.Ticker
+
+	// OnChange fires after each address change with the old and new
+	// addresses. Clients hook their reaction (task re-initiation, role
+	// reversal, …) here.
+	OnChange func(old, new netem.IP)
+
+	changes int
+}
+
+// NewHandoff prepares a periodic handoff; call Start to begin.
+func NewHandoff(engine *sim.Engine, net *netem.Network, iface *netem.Iface, alloc *IPAllocator, period time.Duration) *Handoff {
+	if period <= 0 {
+		panic("mobility: handoff period must be positive")
+	}
+	return &Handoff{engine: engine, net: net, iface: iface, alloc: alloc, period: period}
+}
+
+// Start begins the handoff schedule; the first change is one period away.
+func (h *Handoff) Start() {
+	if h.ticker != nil {
+		return
+	}
+	h.ticker = sim.NewTicker(h.engine, h.period, h.fire)
+}
+
+// Stop halts the schedule.
+func (h *Handoff) Stop() {
+	if h.ticker != nil {
+		h.ticker.Stop()
+		h.ticker = nil
+	}
+}
+
+// Trigger performs one handoff immediately.
+func (h *Handoff) Trigger() { h.fire() }
+
+// Changes counts address changes so far.
+func (h *Handoff) Changes() int { return h.changes }
+
+func (h *Handoff) fire() {
+	old := h.iface.IP()
+	next := h.alloc.Next()
+	h.net.Rebind(h.iface, next)
+	h.changes++
+	if h.OnChange != nil {
+		h.OnChange(old, next)
+	}
+}
+
+// Disconnection detaches an interface for a duration and reattaches it —
+// radio-off mobility without an address change.
+type Disconnection struct {
+	engine *sim.Engine
+	net    *netem.Network
+	iface  *netem.Iface
+
+	// OnReconnect fires when the interface comes back.
+	OnReconnect func()
+}
+
+// NewDisconnection prepares a disconnector for the interface.
+func NewDisconnection(engine *sim.Engine, net *netem.Network, iface *netem.Iface) *Disconnection {
+	return &Disconnection{engine: engine, net: net, iface: iface}
+}
+
+// DisconnectFor detaches the interface now and reattaches it after d.
+func (d *Disconnection) DisconnectFor(dur time.Duration) {
+	if !d.net.Attached(d.iface) {
+		return
+	}
+	d.net.Detach(d.iface)
+	d.engine.Schedule(dur, func() {
+		d.net.Reattach(d.iface)
+		if d.OnReconnect != nil {
+			d.OnReconnect()
+		}
+	})
+}
+
+// Restarter is the slice of a BitTorrent client that mobility reactions
+// need. *bt.Client satisfies it.
+type Restarter interface {
+	Restart(newIdentity bool)
+}
+
+// DefaultReaction wires the default (wP2P-unaware) client behaviour to a
+// handoff: after a detection delay — the user or OS noticing the dead
+// task — the task is re-initiated with a fresh peer-id, forfeiting all
+// tit-for-tat credit (paper §3.4). A zero delay reacts immediately.
+func DefaultReaction(engine *sim.Engine, h *Handoff, client Restarter, detectionDelay time.Duration) {
+	prev := h.OnChange
+	h.OnChange = func(old, new netem.IP) {
+		if prev != nil {
+			prev(old, new)
+		}
+		engine.Schedule(detectionDelay, func() { client.Restart(true) })
+	}
+}
+
+// ObliviousReaction models a client that never notices address changes (the
+// paper's default mobile seed): connections die by timeout and the swarm
+// learns the new address only from periodic tracker announces. It installs
+// no hook; it exists to document the choice at call sites.
+func ObliviousReaction(*Handoff) {}

@@ -1,0 +1,140 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+func fixture() (*sim.Engine, *netem.Network, *netem.Iface) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	n := netem.NewNetwork(e, netem.NetworkConfig{})
+	link := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	iface := n.Attach(1, link, nil)
+	return e, n, iface
+}
+
+func TestIPAllocatorSequence(t *testing.T) {
+	a := NewIPAllocator(100)
+	if a.Next() != 100 || a.Next() != 101 || a.Next() != 102 {
+		t.Error("allocator not sequential")
+	}
+}
+
+func TestHandoffChangesAddressPeriodically(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Minute)
+	var changes [][2]netem.IP
+	h.OnChange = func(old, new netem.IP) { changes = append(changes, [2]netem.IP{old, new}) }
+	h.Start()
+	e.RunUntil(3*time.Minute + time.Second)
+	h.Stop()
+	if h.Changes() != 3 {
+		t.Fatalf("Changes = %d, want 3", h.Changes())
+	}
+	want := [][2]netem.IP{{1, 50}, {50, 51}, {51, 52}}
+	for i, w := range want {
+		if changes[i] != w {
+			t.Errorf("change %d = %v, want %v", i, changes[i], w)
+		}
+	}
+	if iface.IP() != 52 {
+		t.Errorf("final IP = %v, want 52", iface.IP())
+	}
+}
+
+func TestHandoffTrigger(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
+	h.Trigger()
+	if iface.IP() != 50 || h.Changes() != 1 {
+		t.Errorf("Trigger: ip=%v changes=%d", iface.IP(), h.Changes())
+	}
+	_ = e
+}
+
+func TestHandoffStop(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Minute)
+	h.Start()
+	e.RunUntil(90 * time.Second)
+	h.Stop()
+	e.RunUntil(10 * time.Minute)
+	if h.Changes() != 1 {
+		t.Errorf("Changes = %d after Stop, want 1", h.Changes())
+	}
+	_ = iface
+}
+
+func TestHandoffBlackholesOldAddress(t *testing.T) {
+	e, n, iface := fixture()
+	dropped := 0
+	n.OnDrop(func(_ *netem.Packet, r netem.DropReason) {
+		if r == netem.DropNoRoute {
+			dropped++
+		}
+	})
+	// A second host to source packets from.
+	link := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	other := n.Attach(2, link, nil)
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
+	h.Trigger()
+	other.Send(&netem.Packet{Dst: netem.Addr{IP: 1}, Size: 100})
+	e.Run()
+	if dropped != 1 {
+		t.Errorf("packets to old address dropped = %d, want 1", dropped)
+	}
+}
+
+func TestDisconnectionDetachesAndReattaches(t *testing.T) {
+	e, n, iface := fixture()
+	d := NewDisconnection(e, n, iface)
+	reconnected := false
+	d.OnReconnect = func() { reconnected = true }
+	d.DisconnectFor(time.Minute)
+	if n.Attached(iface) {
+		t.Fatal("iface still attached during disconnection")
+	}
+	e.RunUntil(2 * time.Minute)
+	if !n.Attached(iface) {
+		t.Fatal("iface not reattached")
+	}
+	if !reconnected {
+		t.Error("OnReconnect never fired")
+	}
+	// Double disconnect while detached is a no-op.
+	d.DisconnectFor(time.Minute)
+}
+
+type fakeRestarter struct{ calls []bool }
+
+func (f *fakeRestarter) Restart(newID bool) { f.calls = append(f.calls, newID) }
+
+func TestDefaultReactionRestartsWithNewIdentity(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
+	fr := &fakeRestarter{}
+	DefaultReaction(e, h, fr, 10*time.Second)
+	h.Trigger()
+	if len(fr.calls) != 0 {
+		t.Fatal("restart fired before the detection delay")
+	}
+	e.RunUntil(11 * time.Second)
+	if len(fr.calls) != 1 || !fr.calls[0] {
+		t.Fatalf("calls = %v, want one Restart(true)", fr.calls)
+	}
+}
+
+func TestDefaultReactionPreservesExistingHook(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
+	hookRan := false
+	h.OnChange = func(_, _ netem.IP) { hookRan = true }
+	DefaultReaction(e, h, &fakeRestarter{}, 0)
+	h.Trigger()
+	if !hookRan {
+		t.Error("pre-existing OnChange hook was clobbered")
+	}
+}

@@ -1,0 +1,149 @@
+package netem
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// Medium carries packets between attached hosts and the routing cloud.
+// SendUp moves a packet from the host toward the cloud; SendDown moves a
+// packet from the cloud toward the host. A medium may be shared by several
+// hosts (wireless channel) or dedicated to one (access link).
+type Medium interface {
+	SendUp(pkt *Packet, deliver func(*Packet))
+	SendDown(pkt *Packet, deliver func(*Packet))
+}
+
+// AccessLink is a full-duplex wired access link (e.g. cable or DSL): the
+// upstream and downstream directions have independent rates and queues, so
+// uploads never contend with downloads — the wired contrast the paper draws
+// in Figure 3(a).
+type AccessLink struct {
+	up, down transmitter
+}
+
+// AccessLinkConfig parameterizes an AccessLink.
+type AccessLinkConfig struct {
+	UpRate   Rate          // upstream bandwidth
+	DownRate Rate          // downstream bandwidth
+	Delay    time.Duration // one-way propagation per direction
+	QueueCap int           // per-direction buffer in packets (default 50)
+}
+
+// DefaultQueueCap is the per-direction buffer used when QueueCap is zero.
+const DefaultQueueCap = 50
+
+// NewAccessLink builds a wired access link.
+func NewAccessLink(engine *sim.Engine, cfg AccessLinkConfig) *AccessLink {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	return &AccessLink{
+		up: transmitter{
+			engine: engine, rate: cfg.UpRate, delay: cfg.Delay, queueCap: cfg.QueueCap,
+		},
+		down: transmitter{
+			engine: engine, rate: cfg.DownRate, delay: cfg.Delay, queueCap: cfg.QueueCap,
+		},
+	}
+}
+
+// SendUp transmits toward the cloud at the upstream rate.
+func (l *AccessLink) SendUp(pkt *Packet, deliver func(*Packet)) {
+	l.up.enqueue(pkt, deliver)
+}
+
+// SendDown transmits toward the host at the downstream rate.
+func (l *AccessLink) SendDown(pkt *Packet, deliver func(*Packet)) {
+	l.down.enqueue(pkt, deliver)
+}
+
+// OnDrop registers an observer for packets discarded in either direction.
+// Pass nil to remove it.
+func (l *AccessLink) OnDrop(fn func(pkt *Packet, reason DropReason)) {
+	l.up.onDrop = fn
+	l.down.onDrop = fn
+}
+
+// InFlight reports packets queued or being serialized in both directions.
+func (l *AccessLink) InFlight() int { return l.up.inFlight() + l.down.inFlight() }
+
+// UpStats returns upstream-direction counters.
+func (l *AccessLink) UpStats() Stats { return l.up.stats }
+
+// DownStats returns downstream-direction counters.
+func (l *AccessLink) DownStats() Stats { return l.down.stats }
+
+// WirelessChannel is a half-duplex shared medium: every packet — uplink or
+// downlink, from any attached station — serializes through the same
+// transmitter, so uploads and downloads contend for one bandwidth budget
+// (the mechanism behind Figures 3(b) and 8(c)). Each packet is independently
+// corrupted with probability PER = 1−(1−BER)^(8·size) (Figures 2(a), 8(a)).
+type WirelessChannel struct {
+	x   transmitter
+	ber float64
+}
+
+// WirelessConfig parameterizes a WirelessChannel.
+type WirelessConfig struct {
+	Rate     Rate          // shared channel bandwidth
+	Delay    time.Duration // one-way propagation (small for WLAN)
+	QueueCap int           // shared buffer in packets (default 50)
+	BER      float64       // bit error rate applied per packet
+	// Overhead is the fixed per-packet channel-access cost (preamble,
+	// DIFS/SIFS, MAC acknowledgement). It is why a 40-byte pure TCP ACK
+	// consumes a substantial share of the airtime a full data packet does
+	// on 802.11 — the economics behind both the value of piggybacking and
+	// the damage of DUPACK storms. Zero means none.
+	Overhead time.Duration
+}
+
+// NewWirelessChannel builds a shared wireless channel.
+func NewWirelessChannel(engine *sim.Engine, cfg WirelessConfig) *WirelessChannel {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	c := &WirelessChannel{ber: cfg.BER}
+	c.x = transmitter{
+		engine:   engine,
+		rate:     cfg.Rate,
+		delay:    cfg.Delay,
+		overhead: cfg.Overhead,
+		queueCap: cfg.QueueCap,
+	}
+	c.x.lossProb = func(size int) float64 { return PacketErrorRate(c.ber, size) }
+	return c
+}
+
+// SendUp transmits a station's packet toward the cloud over the shared
+// channel.
+func (c *WirelessChannel) SendUp(pkt *Packet, deliver func(*Packet)) {
+	c.x.enqueue(pkt, deliver)
+}
+
+// SendDown transmits a packet from the cloud toward a station over the same
+// shared channel.
+func (c *WirelessChannel) SendDown(pkt *Packet, deliver func(*Packet)) {
+	c.x.enqueue(pkt, deliver)
+}
+
+// SetBER changes the channel's bit error rate, affecting packets transmitted
+// from now on.
+func (c *WirelessChannel) SetBER(ber float64) { c.ber = ber }
+
+// BER returns the current bit error rate.
+func (c *WirelessChannel) BER() float64 { return c.ber }
+
+// InFlight reports packets queued or being serialized on the channel — the
+// "number of packets on the wireless leg" traced in Figure 2(b,c).
+func (c *WirelessChannel) InFlight() int { return c.x.inFlight() }
+
+// Stats returns channel counters.
+func (c *WirelessChannel) Stats() Stats { return c.x.stats }
+
+// OnDrop registers an observer for discarded packets (buffer drops and
+// corruption). Pass nil to remove it.
+func (c *WirelessChannel) OnDrop(fn func(pkt *Packet, reason DropReason)) {
+	c.x.onDrop = fn
+}

@@ -1,0 +1,148 @@
+// Package netem models a packet network inside a sim.Engine: hosts attach to
+// access media (wired full-duplex links or a shared half-duplex wireless
+// channel with bit errors) which connect them through a routing cloud.
+//
+// The model is deliberately at packet granularity: serialization time,
+// drop-tail queues, propagation delay, and per-packet corruption are all
+// explicit, because the paper's findings (piggybacked-ACK loss, DUPACK
+// overload, upload/download self-contention) live at that level.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// IP is a host address. Mobility is modelled by re-binding a host's
+// interface to a new IP; packets addressed to the old IP are blackholed.
+type IP uint32
+
+// String formats the address in dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Addr is a transport endpoint.
+type Addr struct {
+	IP   IP
+	Port uint16
+}
+
+// String formats the endpoint as ip:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Rate is a bandwidth in bytes per second.
+type Rate int64
+
+// Common rate constructors.
+const (
+	KBps Rate = 1000        // kilobytes per second
+	MBps Rate = 1000 * 1000 // megabytes per second
+)
+
+// Kbps returns a rate of n kilobits per second.
+func Kbps(n int64) Rate { return Rate(n * 1000 / 8) }
+
+// Mbps returns a rate of n megabits per second.
+func Mbps(n int64) Rate { return Rate(n * 1000 * 1000 / 8) }
+
+// String formats the rate in KB/s.
+func (r Rate) String() string { return fmt.Sprintf("%.1fKBps", float64(r)/1000) }
+
+// txTime returns the serialization time of size bytes at rate r.
+func (r Rate) txTime(size int) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(r) * float64(time.Second))
+}
+
+// Packet is a unit of transmission. Size is the on-the-wire length in bytes
+// (headers included) and is what serialization time and corruption
+// probability are computed from. Payload carries the protocol message.
+type Packet struct {
+	Src, Dst Addr
+	Size     int
+	Payload  any
+}
+
+// Clone returns a shallow copy of the packet.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	return &c
+}
+
+// Handler consumes packets delivered to an interface.
+type Handler interface {
+	HandlePacket(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// HandlePacket calls f(pkt).
+func (f HandlerFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// Filter inspects a packet about to traverse an interface and returns the
+// packets to forward in its place: the same packet (pass), nil/empty (drop),
+// or several (e.g. splitting a piggybacked ACK into a pure ACK plus data).
+// This is the hook wP2P's Age-based Manipulation attaches to, mirroring the
+// paper's Netfilter module.
+type Filter interface {
+	FilterPacket(pkt *Packet) []*Packet
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(pkt *Packet) []*Packet
+
+// FilterPacket calls f(pkt).
+func (f FilterFunc) FilterPacket(pkt *Packet) []*Packet { return f(pkt) }
+
+// PacketErrorRate converts a bit error rate into the corruption probability
+// of a packet of size bytes: PER = 1 − (1 − BER)^(8·size).
+//
+// This size dependence is the mechanism behind the paper's piggybacking
+// finding: at BER 1e-5 a 1500-byte data+ACK packet is corrupted with
+// probability ≈ 11.3%, a 40-byte pure ACK with probability ≈ 0.3%.
+func PacketErrorRate(ber float64, size int) float64 {
+	if ber <= 0 || size <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-ber, float64(8*size))
+}
+
+// DropReason classifies why a medium discarded a packet.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropQueueOverflow DropReason = iota + 1 // drop-tail buffer full
+	DropCorrupted                           // failed the BER coin flip
+	DropNoRoute                             // destination IP not bound (e.g. after handoff)
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueOverflow:
+		return "queue-overflow"
+	case DropCorrupted:
+		return "corrupted"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Stats counts traffic through a medium or interface.
+type Stats struct {
+	TxPackets int64
+	TxBytes   int64
+	Drops     int64 // queue overflows
+	Corrupted int64 // BER losses
+}

@@ -1,0 +1,233 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// Network routes packets between host interfaces through a cloud with
+// configurable propagation delay. Access media model the bottlenecks; the
+// cloud core is uncongested, matching the paper's testbed where access links
+// and the WLAN are the constrained legs.
+type Network struct {
+	engine     *sim.Engine
+	ifaces     map[IP]*Iface
+	cloudDelay time.Duration
+	jitter     time.Duration
+	pairDelay  map[ipPair]time.Duration
+	onDrop     func(pkt *Packet, reason DropReason)
+}
+
+// ipPair is an unordered address pair.
+type ipPair struct{ lo, hi IP }
+
+func pairOf(a, b IP) ipPair {
+	if a > b {
+		a, b = b, a
+	}
+	return ipPair{lo: a, hi: b}
+}
+
+// NetworkConfig parameterizes a Network.
+type NetworkConfig struct {
+	// CloudDelay is the one-way propagation across the core between any two
+	// access media (default 20 ms). Per-pair overrides via SetPairDelay.
+	CloudDelay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) to every cloud
+	// crossing. Jitter can reorder packets — transports must cope, exactly
+	// as on the real Internet.
+	Jitter time.Duration
+}
+
+// DefaultCloudDelay is the core one-way delay used when CloudDelay is zero.
+const DefaultCloudDelay = 20 * time.Millisecond
+
+// NewNetwork builds an empty network on the engine.
+func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
+	if cfg.CloudDelay == 0 {
+		cfg.CloudDelay = DefaultCloudDelay
+	}
+	return &Network{
+		engine:     engine,
+		ifaces:     make(map[IP]*Iface),
+		cloudDelay: cfg.CloudDelay,
+		jitter:     cfg.Jitter,
+		pairDelay:  make(map[ipPair]time.Duration),
+	}
+}
+
+// SetPairDelay overrides the core one-way delay between two addresses
+// (unordered). It keys on the hosts' current addresses; a handoff to a new
+// address reverts the pair to the default delay, as moving to a new access
+// point would.
+func (n *Network) SetPairDelay(a, b IP, d time.Duration) {
+	n.pairDelay[pairOf(a, b)] = d
+}
+
+// delayFor returns the core delay for one crossing.
+func (n *Network) delayFor(src, dst IP) time.Duration {
+	d, ok := n.pairDelay[pairOf(src, dst)]
+	if !ok {
+		d = n.cloudDelay
+	}
+	if n.jitter > 0 {
+		d += time.Duration(n.engine.Rand().Int63n(int64(n.jitter)))
+	}
+	return d
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Iface is a host's attachment to the network. All of the host's traffic
+// enters and leaves through its interface; egress and ingress filters can
+// observe and rewrite it (wP2P's AM component is an egress filter).
+type Iface struct {
+	net     *Network
+	ip      IP
+	medium  Medium
+	handler Handler
+	egress  []Filter
+	ingress []Filter
+	stats   Stats
+}
+
+// Attach binds a new interface with address ip to the given access medium.
+// It panics if the address is already bound, which is always a scenario
+// construction bug.
+func (n *Network) Attach(ip IP, medium Medium, handler Handler) *Iface {
+	if _, ok := n.ifaces[ip]; ok {
+		panic(fmt.Sprintf("netem: address %s already attached", ip))
+	}
+	if medium == nil {
+		panic("netem: Attach with nil medium")
+	}
+	ifc := &Iface{net: n, ip: ip, medium: medium, handler: handler}
+	n.ifaces[ip] = ifc
+	return ifc
+}
+
+// Detach unbinds the interface; packets to its address are blackholed until
+// it is re-bound.
+func (n *Network) Detach(ifc *Iface) {
+	if n.ifaces[ifc.ip] == ifc {
+		delete(n.ifaces, ifc.ip)
+	}
+}
+
+// Reattach restores a previously detached interface under its current
+// address — the end of a disconnection. It panics if the address was taken
+// in the meantime.
+func (n *Network) Reattach(ifc *Iface) {
+	if cur, ok := n.ifaces[ifc.ip]; ok {
+		if cur == ifc {
+			return
+		}
+		panic(fmt.Sprintf("netem: address %s already attached", ifc.ip))
+	}
+	n.ifaces[ifc.ip] = ifc
+}
+
+// Attached reports whether the interface is currently routable.
+func (n *Network) Attached(ifc *Iface) bool { return n.ifaces[ifc.ip] == ifc }
+
+// Rebind moves the interface to a new address — the network-level view of a
+// handoff. In-flight and future packets to the old address are blackholed.
+// It panics if the new address is already bound.
+func (n *Network) Rebind(ifc *Iface, newIP IP) {
+	if newIP == ifc.ip {
+		return
+	}
+	if _, ok := n.ifaces[newIP]; ok {
+		panic(fmt.Sprintf("netem: address %s already attached", newIP))
+	}
+	if n.ifaces[ifc.ip] == ifc {
+		delete(n.ifaces, ifc.ip)
+	}
+	ifc.ip = newIP
+	n.ifaces[newIP] = ifc
+}
+
+// OnDrop registers a network-wide observer for blackholed (no-route)
+// packets.
+func (n *Network) OnDrop(fn func(pkt *Packet, reason DropReason)) { n.onDrop = fn }
+
+// IP returns the interface's current address.
+func (ifc *Iface) IP() IP { return ifc.ip }
+
+// Stats returns the interface's egress counters.
+func (ifc *Iface) Stats() Stats { return ifc.stats }
+
+// SetHandler installs the packet consumer for the interface.
+func (ifc *Iface) SetHandler(h Handler) { ifc.handler = h }
+
+// AddEgressFilter appends a filter applied to packets leaving the host,
+// before they reach the access medium.
+func (ifc *Iface) AddEgressFilter(f Filter) { ifc.egress = append(ifc.egress, f) }
+
+// AddIngressFilter appends a filter applied to packets arriving from the
+// access medium, before the handler sees them.
+func (ifc *Iface) AddIngressFilter(f Filter) { ifc.ingress = append(ifc.ingress, f) }
+
+// Send transmits a packet from this host. The packet's Src is stamped with
+// the interface's current address if unset.
+func (ifc *Iface) Send(pkt *Packet) {
+	if pkt.Src.IP == 0 {
+		pkt.Src.IP = ifc.ip
+	}
+	for _, out := range applyFilters(ifc.egress, pkt) {
+		ifc.stats.TxPackets++
+		ifc.stats.TxBytes += int64(out.Size)
+		ifc.medium.SendUp(out, ifc.net.routeFromCloud)
+	}
+}
+
+// routeFromCloud receives a packet that has crossed the sender's access
+// medium and forwards it across the core to the destination's access medium.
+func (n *Network) routeFromCloud(pkt *Packet) {
+	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), func() {
+		dst, ok := n.ifaces[pkt.Dst.IP]
+		if !ok {
+			if n.onDrop != nil {
+				n.onDrop(pkt, DropNoRoute)
+			}
+			return
+		}
+		dst.medium.SendDown(pkt, dst.receive)
+	})
+}
+
+// receive applies ingress filters and hands surviving packets to the host.
+func (ifc *Iface) receive(pkt *Packet) {
+	// The interface may have moved to a new address while the packet was in
+	// flight on the access medium; a handed-off station no longer accepts
+	// traffic for its old address.
+	if pkt.Dst.IP != ifc.ip {
+		if ifc.net.onDrop != nil {
+			ifc.net.onDrop(pkt, DropNoRoute)
+		}
+		return
+	}
+	for _, in := range applyFilters(ifc.ingress, pkt) {
+		if ifc.handler != nil {
+			ifc.handler.HandlePacket(in)
+		}
+	}
+}
+
+func applyFilters(filters []Filter, pkt *Packet) []*Packet {
+	out := []*Packet{pkt}
+	for _, f := range filters {
+		var next []*Packet
+		for _, p := range out {
+			next = append(next, f.FilterPacket(p)...)
+		}
+		out = next
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}

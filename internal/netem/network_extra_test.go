@@ -1,0 +1,93 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+func jitterNet(seed int64, cfg NetworkConfig) (*sim.Engine, *Network, *Iface, *Iface, *captureHandler) {
+	e := sim.NewEngine(sim.WithSeed(seed))
+	n := NewNetwork(e, cfg)
+	la := NewAccessLink(e, AccessLinkConfig{UpRate: 1 * MBps, DownRate: 1 * MBps})
+	lb := NewAccessLink(e, AccessLinkConfig{UpRate: 1 * MBps, DownRate: 1 * MBps})
+	h := &captureHandler{}
+	ia := n.Attach(1, la, nil)
+	ib := n.Attach(2, lb, h)
+	return e, n, ia, ib, h
+}
+
+func TestPairDelayOverride(t *testing.T) {
+	e, n, ia, _, h := jitterNet(1, NetworkConfig{CloudDelay: 10 * time.Millisecond})
+	n.SetPairDelay(1, 2, 100*time.Millisecond)
+	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100})
+	e.Run()
+	if len(h.pkts) != 1 {
+		t.Fatal("not delivered")
+	}
+	// Serialization 100B at 1MB/s = 0.1ms each way through access links;
+	// the dominant term must be the 100ms pair delay, not the 10ms default.
+	if e.Now() < 100*time.Millisecond || e.Now() > 110*time.Millisecond {
+		t.Errorf("delivery at %v, want ≈ 100ms", e.Now())
+	}
+}
+
+func TestPairDelayIsUnordered(t *testing.T) {
+	e, n, _, ib, _ := jitterNet(2, NetworkConfig{CloudDelay: 5 * time.Millisecond})
+	n.SetPairDelay(2, 1, 80*time.Millisecond) // set with reversed order
+	got := false
+	// Reuse iface 1's handler via a new capture.
+	h := &captureHandler{}
+	// iface 1 currently has nil handler; attach one.
+	for ip, ifc := range n.ifaces {
+		if ip == 1 {
+			ifc.SetHandler(h)
+		}
+	}
+	ib.Send(&Packet{Dst: Addr{IP: 1}, Size: 100})
+	e.Run()
+	if len(h.pkts) == 1 && e.Now() >= 80*time.Millisecond {
+		got = true
+	}
+	if !got {
+		t.Errorf("reverse-direction pair delay not applied: t=%v pkts=%d", e.Now(), len(h.pkts))
+	}
+}
+
+func TestJitterSpreadsDeliveries(t *testing.T) {
+	e, _, ia, _, h := jitterNet(3, NetworkConfig{CloudDelay: 10 * time.Millisecond, Jitter: 20 * time.Millisecond})
+	const count = 200
+	times := make([]time.Duration, 0, count)
+	for i := 0; i < count; i++ {
+		at := time.Duration(i) * time.Second
+		e.Schedule(at, func() { ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100}) })
+	}
+	e.Run()
+	if len(h.pkts) != count {
+		t.Fatalf("delivered %d", len(h.pkts))
+	}
+	_ = times
+	// Jitter must actually vary the per-packet latency; with 200 samples a
+	// constant latency would be astronomically unlikely under this model.
+	// We can't observe per-packet latencies from the handler directly, so
+	// re-run with one packet per engine and compare.
+	lat := func(seed int64) time.Duration {
+		e2, _, ia2, _, h2 := jitterNet(seed, NetworkConfig{CloudDelay: 10 * time.Millisecond, Jitter: 20 * time.Millisecond})
+		ia2.Send(&Packet{Dst: Addr{IP: 2}, Size: 100})
+		e2.Run()
+		if len(h2.pkts) != 1 {
+			t.Fatal("not delivered")
+		}
+		return e2.Now()
+	}
+	a, b := lat(100), lat(200)
+	if a == b {
+		t.Errorf("jitter produced identical latencies %v across seeds", a)
+	}
+	for _, v := range []time.Duration{a, b} {
+		if v < 10*time.Millisecond || v > 31*time.Millisecond {
+			t.Errorf("latency %v outside [10ms, 30ms+serialization)", v)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+func TestWirelessPerPacketOverhead(t *testing.T) {
+	// With a 2ms per-packet cost, a 1000-byte packet at 1000 B/s takes
+	// 1s + 2ms to serialize; ten of them take 10.02s.
+	e := sim.NewEngine()
+	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000, Overhead: 2 * time.Millisecond})
+	done := 0
+	for i := 0; i < 10; i++ {
+		ch.SendUp(&Packet{Size: 1000}, func(*Packet) { done++ })
+	}
+	e.Run()
+	if done != 10 {
+		t.Fatalf("delivered %d", done)
+	}
+	if got, want := e.Now(), 10*time.Second+20*time.Millisecond; got != want {
+		t.Errorf("completion at %v, want %v", got, want)
+	}
+}
+
+func TestOverheadMakesSmallPacketsExpensive(t *testing.T) {
+	// The MAC-overhead economics behind the paper's piggybacking argument:
+	// with overhead, a 40-byte ACK costs a meaningful fraction of a full
+	// data packet's airtime.
+	e := sim.NewEngine()
+	ch := NewWirelessChannel(e, WirelessConfig{Rate: 150000, Overhead: 2 * time.Millisecond})
+	var ackDone, dataDone time.Duration
+	ch.SendUp(&Packet{Size: 40}, func(*Packet) { ackDone = e.Now() })
+	e.Run()
+	start := e.Now()
+	ch.SendUp(&Packet{Size: 1500}, func(*Packet) { dataDone = e.Now() })
+	e.Run()
+	ackCost := ackDone
+	dataCost := dataDone - start
+	if ratio := float64(ackCost) / float64(dataCost); ratio < 0.15 {
+		t.Errorf("ack/data airtime ratio = %.2f; overhead should make pure ACKs non-trivial", ratio)
+	}
+}
+
+func TestWiredLinkHasNoImplicitOverhead(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewAccessLink(e, AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	l.SendUp(&Packet{Size: 1000}, func(*Packet) {})
+	e.Run()
+	if e.Now() != time.Second {
+		t.Errorf("wired serialization took %v, want exactly 1s", e.Now())
+	}
+}

@@ -1,0 +1,91 @@
+package netem
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// queued pairs a packet with its delivery continuation.
+type queued struct {
+	pkt     *Packet
+	deliver func(*Packet)
+}
+
+// transmitter serializes packets at a fixed rate through a drop-tail FIFO,
+// then applies propagation delay and an optional per-packet loss probability.
+// It models one direction of a wired link, or the single shared server of a
+// half-duplex wireless channel.
+type transmitter struct {
+	engine   *sim.Engine
+	rate     Rate
+	delay    time.Duration
+	overhead time.Duration // fixed per-packet channel-access cost (MAC)
+	queueCap int           // packets; <=0 means unlimited
+
+	// lossProb returns the probability that a packet of the given size is
+	// corrupted in flight; nil means lossless.
+	lossProb func(size int) float64
+
+	// onDrop, if set, observes every discarded packet.
+	onDrop func(pkt *Packet, reason DropReason)
+
+	queue []queued
+	busy  bool
+	stats Stats
+}
+
+// enqueue admits a packet for transmission, dropping it if the buffer is
+// full.
+func (x *transmitter) enqueue(pkt *Packet, deliver func(*Packet)) {
+	if x.queueCap > 0 && len(x.queue) >= x.queueCap {
+		x.stats.Drops++
+		x.drop(pkt, DropQueueOverflow)
+		return
+	}
+	x.queue = append(x.queue, queued{pkt: pkt, deliver: deliver})
+	if !x.busy {
+		x.startNext()
+	}
+}
+
+func (x *transmitter) startNext() {
+	if len(x.queue) == 0 {
+		x.busy = false
+		return
+	}
+	item := x.queue[0]
+	copy(x.queue, x.queue[1:])
+	x.queue[len(x.queue)-1] = queued{}
+	x.queue = x.queue[:len(x.queue)-1]
+	x.busy = true
+
+	x.engine.Schedule(x.overhead+x.rate.txTime(item.pkt.Size), func() {
+		x.stats.TxPackets++
+		x.stats.TxBytes += int64(item.pkt.Size)
+		corrupted := x.lossProb != nil &&
+			x.engine.Rand().Float64() < x.lossProb(item.pkt.Size)
+		if corrupted {
+			x.stats.Corrupted++
+			x.drop(item.pkt, DropCorrupted)
+		} else {
+			x.engine.Schedule(x.delay, func() { item.deliver(item.pkt) })
+		}
+		x.startNext()
+	})
+}
+
+func (x *transmitter) drop(pkt *Packet, reason DropReason) {
+	if x.onDrop != nil {
+		x.onDrop(pkt, reason)
+	}
+}
+
+// inFlight reports packets queued or being serialized.
+func (x *transmitter) inFlight() int {
+	n := len(x.queue)
+	if x.busy {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestNegativeDelayFiresNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Minute, func() {
+			fired = true
+			if e.Now() != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double-cancel and cancelling nil must not panic.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, e.Schedule(time.Duration(i+1)*time.Second, func() {
+			got = append(got, i)
+		}))
+	}
+	e.Cancel(events[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil fired %d events, want 3", len(got))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunFor(2 * time.Second)
+	if len(got) != 5 {
+		t.Fatalf("after RunFor fired %d events, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Errorf("Now() = %v, want 1m", e.Now())
+	}
+}
+
+func TestStopPausesRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("Stop: fired %d, want 4", count)
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Fatalf("resume: fired %d, want 10", count)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(2*time.Second, func() {
+		e.ScheduleAt(5*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5*time.Second {
+		t.Errorf("ScheduleAt fired at %v, want 5s", at)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	draw := func(seed int64) []int64 {
+		e := NewEngine(WithSeed(seed))
+		out := make([]int64, 8)
+		for i := range out {
+			out[i] = e.Rand().Int63()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Errorf("Now() = %v, want 99ms", e.Now())
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+// Property: for arbitrary delays, events fire in nondecreasing time order and
+// the engine clock matches each event's scheduled time.
+func TestPropertyEventOrdering(t *testing.T) {
+	prop := func(delays []uint32) bool {
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		e := NewEngine()
+		var fireTimes []time.Duration
+		want := make([]time.Duration, 0, len(delays))
+		for _, d := range delays {
+			at := time.Duration(d%1e6) * time.Microsecond
+			want = append(want, at)
+			e.Schedule(at, func() {
+				if e.Now() != at {
+					t.Errorf("fired at %v, scheduled %v", e.Now(), at)
+				}
+				fireTimes = append(fireTimes, e.Now())
+			})
+		}
+		e.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range fireTimes {
+			if fireTimes[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetReplacesPending(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(time.Second)
+	tm.Reset(2 * time.Second) // replaces, does not add
+	e.Run()
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("fired at %v, want 2s", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Reset(time.Second)
+	if !tm.Armed() {
+		t.Fatal("Armed() = false after Reset")
+	}
+	tm.Stop()
+	if tm.Armed() {
+		t.Fatal("Armed() = true after Stop")
+	}
+	e.Run()
+	if fires != 0 {
+		t.Fatalf("stopped timer fired %d times", fires)
+	}
+	tm.Stop() // double stop is a no-op
+}
+
+func TestTimerRearmsFromCallback(t *testing.T) {
+	e := NewEngine()
+	fires := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		fires++
+		if fires < 3 {
+			tm.Reset(time.Second)
+		}
+	})
+	tm.Reset(time.Second)
+	e.Run()
+	if fires != 3 {
+		t.Fatalf("fires = %d, want 3", fires)
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	tk := NewTicker(e, time.Second, func() { times = append(times, e.Now()) })
+	e.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	e.Run()
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(times))
+	}
+	for i, want := range []time.Duration{1, 2, 3} {
+		if times[i] != want*time.Second {
+			t.Errorf("tick %d at %v, want %vs", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Second, func() {
+		ticks++
+		if ticks == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ticks)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+	ev := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after cancel, want 1", e.Pending())
+	}
+}

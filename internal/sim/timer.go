@@ -1,0 +1,85 @@
+package sim
+
+import "time"
+
+// Timer is a re-armable one-shot timer bound to an engine, analogous to
+// time.Timer but in virtual time. The zero value is not usable; create
+// timers with NewTimer.
+type Timer struct {
+	engine *Engine
+	fn     func()
+	ev     *Event
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func NewTimer(engine *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer called with nil function")
+	}
+	return &Timer{engine: engine, fn: fn}
+}
+
+// Reset arms the timer to fire after d, replacing any pending firing.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.engine.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time interval.
+// The zero value is not usable; create tickers with NewTicker.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker returns a started ticker that calls fn every interval, with the
+// first call one interval from now.
+func NewTicker(engine *Engine, interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: NewTicker interval must be positive")
+	}
+	if fn == nil {
+		panic("sim: NewTicker called with nil function")
+	}
+	t := &Ticker{engine: engine, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop permanently halts the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}

@@ -1,0 +1,156 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+func TestOnWritableFiresAsBufferDrains(t *testing.T) {
+	w := newWorld(60)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, _ := connect(t, w, sa, sb, 80)
+	fired := 0
+	var minBuffered int64 = 1 << 62
+	client.OnWritable = func() {
+		fired++
+		if b := client.Buffered(); b < minBuffered {
+			minBuffered = b
+		}
+	}
+	client.Write(100_000)
+	w.engine.RunFor(10 * time.Second)
+	if fired == 0 {
+		t.Fatal("OnWritable never fired")
+	}
+	if minBuffered != 0 {
+		t.Errorf("buffer never drained to 0 by the last OnWritable: %d", minBuffered)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := (&Config{}).withDefaults()
+	if cfg.InitCwndSegs != 2 || cfg.InitRTO != time.Second ||
+		cfg.MinRTO != 200*time.Millisecond || cfg.MaxRTO != 60*time.Second ||
+		cfg.MaxRetries != 10 || cfg.DelAckTimeout != 100*time.Millisecond {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Explicit values survive.
+	cfg2 := (&Config{MaxRetries: 3}).withDefaults()
+	if cfg2.MaxRetries != 3 {
+		t.Errorf("explicit MaxRetries overridden: %d", cfg2.MaxRetries)
+	}
+}
+
+func TestListenerCloseStopsAccepting(t *testing.T) {
+	w := newWorld(61)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	accepted := 0
+	l := sb.Listen(80, func(c *Conn) { accepted++ })
+	c1 := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	w.engine.RunFor(time.Second)
+	l.Close()
+	var refused error
+	c2 := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	c2.OnClose = func(err error) { refused = err }
+	w.engine.RunFor(2 * time.Second)
+	if accepted != 1 {
+		t.Errorf("accepted = %d, want 1", accepted)
+	}
+	if refused == nil {
+		t.Error("dial after listener close was not refused")
+	}
+	if c1.State() != StateEstablished {
+		t.Error("existing connection was affected by listener close")
+	}
+}
+
+func TestDuplicatePortListenPanics(t *testing.T) {
+	w := newWorld(62)
+	sa := w.wiredHost(1)
+	sa.Listen(80, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Listen did not panic")
+		}
+	}()
+	sa.Listen(80, nil)
+}
+
+func TestEphemeralPortsSkipListeners(t *testing.T) {
+	w := newWorld(63)
+	sa := w.wiredHost(1)
+	sa.Listen(49153, nil) // inside the ephemeral range
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		c := sa.Dial(netem.Addr{IP: 99, Port: 1})
+		p := c.LocalAddr().Port
+		if p == 49153 {
+			t.Fatal("ephemeral allocation returned a listening port")
+		}
+		if seen[p] {
+			t.Fatalf("ephemeral port %d reused while conn alive", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	w := newWorld(64)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	client.Write(50_000)
+	w.engine.RunFor(10 * time.Second)
+	cs, ss := client.Stats(), server.Stats()
+	if cs.BytesSent != 50_000 || cs.BytesAcked != 50_000 {
+		t.Errorf("client stats: %+v", cs)
+	}
+	if ss.BytesDelivered != 50_000 {
+		t.Errorf("server delivered %d", ss.BytesDelivered)
+	}
+	if cs.SegsSent == 0 || cs.SegsRcvd == 0 {
+		t.Error("segment counters empty")
+	}
+	if client.SRTT() == 0 {
+		t.Error("no RTT estimate formed")
+	}
+	if client.LocalAddr().IP != 1 || client.RemoteAddr().IP != 2 {
+		t.Error("addresses wrong")
+	}
+}
+
+func TestWriteAfterCloseIgnored(t *testing.T) {
+	w := newWorld(65)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	received := 0
+	server.OnDeliver = func(n int) { received += n }
+	client.Write(1000)
+	client.Close()
+	client.Write(5000) // after Close: must be ignored
+	w.engine.RunFor(5 * time.Second)
+	if received != 1000 {
+		t.Errorf("received %d, want only the pre-close 1000", received)
+	}
+}
+
+func TestBidirectionalClose(t *testing.T) {
+	w := newWorld(66)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	closedA, closedB := false, false
+	client.OnClose = func(error) { closedA = true }
+	server.OnClose = func(error) { closedB = true }
+	client.Write(10_000)
+	server.Write(10_000)
+	client.Close()
+	server.Close()
+	w.engine.RunFor(30 * time.Second)
+	if !closedA || !closedB {
+		t.Errorf("both sides should close: a=%v b=%v", closedA, closedB)
+	}
+	if sa.NumConns() != 0 || sb.NumConns() != 0 {
+		t.Errorf("conns leaked: %d/%d", sa.NumConns(), sb.NumConns())
+	}
+}

@@ -1,0 +1,9 @@
+package tcp
+
+import "fmt"
+
+// DebugState returns a snapshot of internal state for diagnostics.
+func (c *Conn) DebugState() string {
+	return fmt.Sprintf("state=%v sndUna=%d sndNxt=%d tail=%d cwnd=%.0f rec=%v dup=%d rto=%v retries=%d armed=%v pendMsgs=%d rcvdMsgs=%d rcvNxt=%d ooo=%v fired=%d",
+		c.state, c.sndUna, c.sndNxt, c.sndBufTail, c.cwnd, c.inRecovery, c.dupAcks, c.rto, c.retries, c.rtxTimer.Armed(), len(c.pendingMsgs), len(c.rcvdMsgs), c.rcvNxt, c.oooRecvd, c.firedThrough)
+}

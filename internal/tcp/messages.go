@@ -1,0 +1,79 @@
+package tcp
+
+import "sort"
+
+// AppMessage is an application message framed inside the byte stream. End is
+// the stream offset one past the message's final byte; Val is the decoded
+// message object. Payload bytes are counted rather than stored, so framing
+// travels with the segment that carries the message's last byte — a message
+// is deliverable exactly when TCP has delivered that byte in order, which
+// preserves real timing under loss, retransmission, and reordering.
+type AppMessage struct {
+	End int64
+	Val any
+}
+
+// SendMessage frames a message of wireLen bytes onto the stream and queues
+// it for transmission. Mixing SendMessage with raw Write on one connection
+// is unsupported. wireLen must be positive.
+func (c *Conn) SendMessage(val any, wireLen int) {
+	if c.closed || c.finQueued || wireLen <= 0 {
+		return
+	}
+	c.sndBufTail += int64(wireLen)
+	c.pendingMsgs = append(c.pendingMsgs, AppMessage{End: c.sndBufTail, Val: val})
+	if c.state == StateEstablished {
+		c.trySend()
+	}
+}
+
+// collectMsgs returns the framed messages whose final byte lies in
+// [seq, end), i.e. those completed by a segment spanning that range.
+func (c *Conn) collectMsgs(seq, end int64) []AppMessage {
+	// pendingMsgs is sorted by End; find (seq, end].
+	lo := sort.Search(len(c.pendingMsgs), func(i int) bool { return c.pendingMsgs[i].End > seq })
+	hi := sort.Search(len(c.pendingMsgs), func(i int) bool { return c.pendingMsgs[i].End > end })
+	if lo == hi {
+		return nil
+	}
+	out := make([]AppMessage, hi-lo)
+	copy(out, c.pendingMsgs[lo:hi])
+	return out
+}
+
+// pruneMsgs discards framing for fully acknowledged messages.
+func (c *Conn) pruneMsgs() {
+	i := sort.Search(len(c.pendingMsgs), func(i int) bool { return c.pendingMsgs[i].End > c.sndUna })
+	if i > 0 {
+		c.pendingMsgs = append(c.pendingMsgs[:0], c.pendingMsgs[i:]...)
+	}
+}
+
+// stashMsgs records framing carried by a received segment. Duplicates from
+// retransmissions are ignored.
+func (c *Conn) stashMsgs(msgs []AppMessage) {
+	for _, m := range msgs {
+		if m.End <= c.firedThrough {
+			continue
+		}
+		i := sort.Search(len(c.rcvdMsgs), func(i int) bool { return c.rcvdMsgs[i].End >= m.End })
+		if i < len(c.rcvdMsgs) && c.rcvdMsgs[i].End == m.End {
+			continue
+		}
+		c.rcvdMsgs = append(c.rcvdMsgs, AppMessage{})
+		copy(c.rcvdMsgs[i+1:], c.rcvdMsgs[i:])
+		c.rcvdMsgs[i] = m
+	}
+}
+
+// fireMsgs delivers messages whose bytes have arrived in order.
+func (c *Conn) fireMsgs() {
+	for len(c.rcvdMsgs) > 0 && c.rcvdMsgs[0].End <= c.rcvNxt {
+		m := c.rcvdMsgs[0]
+		c.rcvdMsgs = c.rcvdMsgs[1:]
+		c.firedThrough = m.End
+		if c.OnMessage != nil && !c.closed {
+			c.OnMessage(m.Val)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package tcp models bidirectional TCP at packet granularity over a netem
+// network: NewReno congestion control, slow start, fast retransmit and fast
+// recovery, RTO estimation with exponential backoff, cumulative ACKs, ACK
+// piggybacking on reverse-path data, and spec-mandated pure DUPACKs.
+//
+// Payload bytes are counted, not stored: a Conn transfers an abstract byte
+// stream whose in-order arrival is reported to the application as counts.
+// Everything the paper's analysis depends on — packet sizes on the wire,
+// which ACKs ride on data packets, how many DUPACKs cross the wireless leg
+// during recovery — is modelled explicitly.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// Wire constants.
+const (
+	// MSS is the maximum segment payload in bytes.
+	MSS = 1460
+	// HeaderSize is the combined TCP/IP header length; a pure ACK is a
+	// packet of exactly this size.
+	HeaderSize = 40
+)
+
+// Errors reported through the OnClose callback.
+var (
+	// ErrTimeout indicates the retransmission limit was exhausted (the peer
+	// is unreachable, e.g. after a handoff blackholed its address).
+	ErrTimeout = errors.New("tcp: connection timed out")
+	// ErrReset indicates the peer aborted the connection.
+	ErrReset = errors.New("tcp: connection reset by peer")
+	// ErrClosed indicates the connection was closed locally.
+	ErrClosed = errors.New("tcp: connection closed")
+)
+
+// Segment is the TCP payload carried inside a netem.Packet. Sequence and
+// acknowledgement numbers count stream bytes from zero.
+type Segment struct {
+	Seq int64 // sequence number of the first payload byte
+	Len int   // payload length in bytes
+	Ack int64 // cumulative acknowledgement: next byte expected
+
+	// HasAck is set on every segment except the initial SYN, per the spec
+	// detail the paper leans on ("ALL packets except the initial SYN have
+	// to have the ACK option bit set").
+	HasAck bool
+	SYN    bool
+	FIN    bool
+	RST    bool
+
+	// TSval/TSecr model the TCP timestamp option (RFC 7323): TSval is the
+	// sender's clock at transmission, TSecr echoes the most recent in-order
+	// TSval seen from the peer. Timestamps give an RTT sample per ACK with
+	// Karn's problem handled naturally (a retransmission carries its own
+	// fresh TSval), which keeps the RTO estimate honest under heavy
+	// wireless loss. Zero TSecr means "no echo yet".
+	TSval time.Duration
+	TSecr time.Duration
+
+	// Msgs carries framing for application messages whose final byte lies
+	// in this segment's range (see AppMessage).
+	Msgs []AppMessage
+}
+
+// IsPureAck reports whether the segment carries only acknowledgement
+// information: no payload, no control flags. Pure ACKs are the packets whose
+// loss-robustness (40 bytes vs a full data packet) drives the paper's
+// piggybacking analysis, and DUPACKs are always pure.
+func (s *Segment) IsPureAck() bool {
+	return s.HasAck && s.Len == 0 && !s.SYN && !s.FIN && !s.RST
+}
+
+// WireSize returns the on-the-wire packet size for the segment.
+func (s *Segment) WireSize() int { return HeaderSize + s.Len }
+
+// String formats the segment for traces.
+func (s *Segment) String() string {
+	flags := ""
+	if s.SYN {
+		flags += "S"
+	}
+	if s.FIN {
+		flags += "F"
+	}
+	if s.RST {
+		flags += "R"
+	}
+	if s.HasAck {
+		flags += "."
+	}
+	return fmt.Sprintf("seq=%d len=%d ack=%d %s", s.Seq, s.Len, s.Ack, flags)
+}
+
+// Config tunes a stack's TCP behaviour. The zero value selects defaults.
+type Config struct {
+	InitCwndSegs int           // initial congestion window in segments (default 2)
+	InitRTO      time.Duration // RTO before the first RTT sample (default 1s)
+	MinRTO       time.Duration // RTO floor (default 200ms)
+	MaxRTO       time.Duration // RTO backoff ceiling (default 60s)
+	// MaxRetries is how many consecutive RTOs are tolerated before the
+	// connection fails with ErrTimeout. With the default 10 and a 200 ms
+	// post-sample RTO floor, exponential backoff makes the sender persist
+	// for one to two minutes — the "several minutes" a fixed peer keeps
+	// trying a vanished mobile server (paper §3.5).
+	MaxRetries int
+	// DelAckTimeout is the delayed-ACK timer (RFC 1122): an ACK for
+	// in-order data is withheld until a second segment arrives, reverse
+	// data can carry it (piggybacking — "ACKs in the reverse path are
+	// almost always piggybacked on the data packets"), or this timer
+	// fires. Default 100 ms.
+	DelAckTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.InitCwndSegs == 0 {
+		out.InitCwndSegs = 2
+	}
+	if out.InitRTO == 0 {
+		out.InitRTO = time.Second
+	}
+	if out.MinRTO == 0 {
+		out.MinRTO = 200 * time.Millisecond
+	}
+	if out.MaxRTO == 0 {
+		out.MaxRTO = 60 * time.Second
+	}
+	if out.MaxRetries == 0 {
+		out.MaxRetries = 10
+	}
+	if out.DelAckTimeout == 0 {
+		out.DelAckTimeout = 100 * time.Millisecond
+	}
+	return out
+}
+
+type fourTuple struct {
+	local, remote netem.Addr
+}
+
+// Stack is a host's TCP layer: it owns the interface's packet handler and
+// demultiplexes segments to connections and listeners.
+type Stack struct {
+	engine    *sim.Engine
+	iface     *netem.Iface
+	cfg       Config
+	conns     map[fourTuple]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+}
+
+// NewStack builds a TCP layer on the interface and installs itself as the
+// interface's packet handler.
+func NewStack(engine *sim.Engine, iface *netem.Iface, cfg Config) *Stack {
+	s := &Stack{
+		engine:    engine,
+		iface:     iface,
+		cfg:       cfg.withDefaults(),
+		conns:     make(map[fourTuple]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+	}
+	iface.SetHandler(s)
+	return s
+}
+
+// Engine returns the simulation engine.
+func (s *Stack) Engine() *sim.Engine { return s.engine }
+
+// Iface returns the interface the stack is bound to.
+func (s *Stack) Iface() *netem.Iface { return s.iface }
+
+// Addr returns the stack's current address with the given port.
+func (s *Stack) Addr(port uint16) netem.Addr {
+	return netem.Addr{IP: s.iface.IP(), Port: port}
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	stack    *Stack
+	port     uint16
+	onAccept func(*Conn)
+	closed   bool
+}
+
+// Listen opens a listener on port. It panics if the port is taken, which is
+// always a scenario construction bug.
+func (s *Stack) Listen(port uint16, onAccept func(*Conn)) *Listener {
+	if _, ok := s.listeners[port]; ok {
+		panic(fmt.Sprintf("tcp: port %d already listening", port))
+	}
+	l := &Listener{stack: s, port: port, onAccept: onAccept}
+	s.listeners[port] = l
+	return l
+}
+
+// Close stops accepting connections. Established connections are unaffected.
+func (l *Listener) Close() {
+	if !l.closed {
+		l.closed = true
+		delete(l.stack.listeners, l.port)
+	}
+}
+
+// Dial opens a connection to remote from an ephemeral local port and sends
+// the initial SYN. Callbacks should be set on the returned Conn before the
+// simulation advances.
+func (s *Stack) Dial(remote netem.Addr) *Conn {
+	local := netem.Addr{IP: s.iface.IP(), Port: s.allocPort()}
+	c := newConn(s, local, remote, true)
+	s.conns[fourTuple{local: local, remote: remote}] = c
+	c.sendSYN()
+	return c
+}
+
+func (s *Stack) allocPort() uint16 {
+	for {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort < 49152 {
+			s.nextPort = 49152
+		}
+		if _, taken := s.listeners[p]; taken {
+			continue
+		}
+		return p
+	}
+}
+
+// HandlePacket demultiplexes an arriving segment. It implements
+// netem.Handler.
+func (s *Stack) HandlePacket(pkt *netem.Packet) {
+	seg, ok := pkt.Payload.(*Segment)
+	if !ok {
+		return // not TCP traffic
+	}
+	key := fourTuple{local: pkt.Dst, remote: pkt.Src}
+	if c, ok := s.conns[key]; ok {
+		c.handleSegment(seg)
+		return
+	}
+	if seg.SYN && !seg.HasAck {
+		if l, ok := s.listeners[pkt.Dst.Port]; ok && !l.closed {
+			c := newConn(s, pkt.Dst, pkt.Src, false)
+			s.conns[key] = c
+			c.handleSegment(seg)
+			if l.onAccept != nil {
+				l.onAccept(c)
+			}
+			return
+		}
+	}
+	if !seg.RST {
+		// No such connection: refuse, so a peer dialling a host that moved
+		// here (or a stale flow) fails fast rather than by timeout.
+		s.sendRaw(pkt.Dst, pkt.Src, &Segment{RST: true, HasAck: true, Ack: seg.Seq + int64(seg.Len)})
+	}
+}
+
+func (s *Stack) sendRaw(from, to netem.Addr, seg *Segment) {
+	s.iface.Send(&netem.Packet{Src: from, Dst: to, Size: seg.WireSize(), Payload: seg})
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	key := fourTuple{local: c.local, remote: c.remote}
+	if s.conns[key] == c {
+		delete(s.conns, key)
+	}
+}
+
+// NumConns returns the number of live connections, for tests and metrics.
+func (s *Stack) NumConns() int { return len(s.conns) }

@@ -1,0 +1,127 @@
+// Package trace records structured simulation events into a bounded ring
+// buffer for debugging: which packets crossed an interface, what a medium
+// dropped, what a component decided. Recording costs nothing when no
+// recorder is attached, and the ring keeps memory constant on long runs.
+//
+// Typical use while debugging a scenario:
+//
+//	rec := trace.NewRecorder(engine, 4096)
+//	trace.WatchIface(rec, "mobile", iface)
+//	trace.WatchWireless(rec, "wlan", channel)
+//	...
+//	rec.Dump(os.Stdout) // or rec.Events() for assertions
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// Event is one recorded observation.
+type Event struct {
+	At     time.Duration
+	Source string // the watch point, e.g. "mobile/egress"
+	Kind   string // e.g. "pkt", "drop", "note"
+	Detail string
+}
+
+// String formats the event as a trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-20s %-6s %s", e.At, e.Source, e.Kind, e.Detail)
+}
+
+// Recorder accumulates events in a ring buffer. The zero value is not
+// usable; create recorders with NewRecorder.
+type Recorder struct {
+	engine  *sim.Engine
+	ring    []Event
+	next    int
+	wrapped bool
+	total   int64
+}
+
+// NewRecorder builds a recorder keeping the most recent capacity events.
+func NewRecorder(engine *sim.Engine, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{engine: engine, ring: make([]Event, capacity)}
+}
+
+// Emit records an event.
+func (r *Recorder) Emit(source, kind, format string, args ...any) {
+	r.ring[r.next] = Event{
+		At:     r.engine.Now(),
+		Source: source,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	r.next++
+	r.total++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Total reports how many events were ever emitted (including evicted ones).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events in emission order.
+func (r *Recorder) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.ring[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events as text lines.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// describePacket renders a packet compactly, including TCP payload detail
+// when present.
+func describePacket(p *netem.Packet) string {
+	return fmt.Sprintf("%s->%s %dB %v", p.Src, p.Dst, p.Size, p.Payload)
+}
+
+// WatchIface records every packet entering and leaving an interface. The
+// name labels the watch point in the trace.
+func WatchIface(r *Recorder, name string, iface *netem.Iface) {
+	iface.AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+		r.Emit(name+"/egress", "pkt", "%s", describePacket(p))
+		return []*netem.Packet{p}
+	}))
+	iface.AddIngressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+		r.Emit(name+"/ingress", "pkt", "%s", describePacket(p))
+		return []*netem.Packet{p}
+	}))
+}
+
+// WatchWireless records every drop (queue overflow or corruption) on a
+// wireless channel. It replaces any previously installed OnDrop observer.
+func WatchWireless(r *Recorder, name string, ch *netem.WirelessChannel) {
+	ch.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
+		r.Emit(name, "drop", "%v %s", reason, describePacket(p))
+	})
+}
+
+// WatchNetwork records packets blackholed by the routing layer (no-route
+// after a handoff). It replaces any previously installed observer.
+func WatchNetwork(r *Recorder, name string, n *netem.Network) {
+	n.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
+		r.Emit(name, "drop", "%v %s", reason, describePacket(p))
+	})
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+func TestRecorderKeepsEmissionOrder(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 10)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			r.Emit("src", "note", "event-%d", i)
+		})
+	}
+	e.Run()
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Detail != "event-"+string(rune('0'+i)) {
+			t.Errorf("event %d = %q", i, ev.Detail)
+		}
+		if ev.At != time.Duration(i)*time.Second {
+			t.Errorf("event %d at %v", i, ev.At)
+		}
+	}
+}
+
+func TestRecorderRingEvicts(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 3)
+	for i := 0; i < 7; i++ {
+		r.Emit("s", "note", "e%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Detail != "e4" || evs[2].Detail != "e6" {
+		t.Errorf("ring contents: %v", evs)
+	}
+	if r.Total() != 7 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(sim.NewEngine(), 0)
+	if len(r.ring) != 1024 {
+		t.Errorf("default capacity = %d", len(r.ring))
+	}
+}
+
+func TestWatchIfaceAndNetwork(t *testing.T) {
+	e := sim.NewEngine()
+	n := netem.NewNetwork(e, netem.NetworkConfig{})
+	la := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	lb := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	ia := n.Attach(1, la, nil)
+	var got []*netem.Packet
+	n.Attach(2, lb, netem.HandlerFunc(func(p *netem.Packet) { got = append(got, p) }))
+
+	r := NewRecorder(e, 64)
+	WatchIface(r, "hostA", ia)
+	WatchNetwork(r, "net", n)
+
+	ia.Send(&netem.Packet{Dst: netem.Addr{IP: 2}, Size: 100, Payload: "hello"})
+	ia.Send(&netem.Packet{Dst: netem.Addr{IP: 99}, Size: 100, Payload: "lost"})
+	e.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	var egress, drops int
+	for _, ev := range r.Events() {
+		switch {
+		case ev.Source == "hostA/egress":
+			egress++
+		case ev.Kind == "drop":
+			drops++
+		}
+	}
+	if egress != 2 {
+		t.Errorf("egress events = %d, want 2", egress)
+	}
+	if drops != 1 {
+		t.Errorf("drop events = %d, want 1", drops)
+	}
+}
+
+func TestWatchWirelessRecordsDrops(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(5))
+	ch := netem.NewWirelessChannel(e, netem.WirelessConfig{Rate: 1000, QueueCap: 1})
+	r := NewRecorder(e, 64)
+	WatchWireless(r, "wlan", ch)
+	for i := 0; i < 5; i++ {
+		ch.SendUp(&netem.Packet{Size: 1000}, func(*netem.Packet) {})
+	}
+	e.Run()
+	found := false
+	for _, ev := range r.Events() {
+		if ev.Kind == "drop" && strings.Contains(ev.Detail, "queue-overflow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no queue-overflow drop recorded")
+	}
+}
+
+func TestDump(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 8)
+	r.Emit("a", "note", "hello")
+	var b strings.Builder
+	r.Dump(&b)
+	if !strings.Contains(b.String(), "hello") || !strings.Contains(b.String(), "note") {
+		t.Errorf("dump = %q", b.String())
+	}
+}

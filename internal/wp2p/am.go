@@ -1,0 +1,210 @@
+// Package wp2p implements the paper's contribution: a wireless-P2P client
+// layered on the bt BitTorrent implementation, consisting of Age-based
+// Manipulation (AM) of bi-directional TCP, Incentive-Aware operations (IA:
+// LIHD upload-rate control and peer-id retention), and Mobility-Aware
+// operations (MA: probabilistic in-order fetching and role reversal). All
+// techniques are local to the mobile host and fully backward compatible
+// with unmodified fixed peers.
+package wp2p
+
+import (
+	"time"
+
+	"github.com/wp2p/wp2p/internal/metrics"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/tcp"
+)
+
+// FlowStatus classifies a connection's age per the paper's §4.1.
+type FlowStatus int
+
+// Flow ages.
+const (
+	// FlowYoung marks a connection whose peer congestion window is below γ:
+	// vulnerable to ACK loss, so piggybacked ACKs are decoupled.
+	FlowYoung FlowStatus = iota + 1
+	// FlowMature marks a connection past the threshold: robust to ACK loss,
+	// so DUPACK thinning is applied during loss recovery instead.
+	FlowMature
+)
+
+// String names the status.
+func (s FlowStatus) String() string {
+	if s == FlowYoung {
+		return "young"
+	}
+	return "mature"
+}
+
+// AMConfig tunes the Age-based Manipulation filter.
+type AMConfig struct {
+	// GammaSegs is the connection-status threshold γ in segments; the paper
+	// uses 6 (≈ 9 KB), citing the vulnerability of windows below 6 to
+	// losses.
+	GammaSegs int
+	// CwndWindow is the measurement window used to estimate the remote
+	// sender's congestion window ("data sent by the remote peer in every
+	// rtt"); defaults to 200 ms.
+	CwndWindow time.Duration
+	// DropEveryN thins one in N outgoing DUPACKs on mature connections in
+	// recovery; the paper drops one-fourth (N = 4).
+	DropEveryN int
+}
+
+func (c AMConfig) withDefaults() AMConfig {
+	if c.GammaSegs == 0 {
+		c.GammaSegs = 6
+	}
+	if c.CwndWindow == 0 {
+		c.CwndWindow = 200 * time.Millisecond
+	}
+	if c.DropEveryN == 0 {
+		c.DropEveryN = 4
+	}
+	return c
+}
+
+// AMStats counts the filter's interventions.
+type AMStats struct {
+	Decoupled      int64 // piggybacked ACKs split into pure ACK + data
+	DupAcksDropped int64 // DUPACKs thinned during mature-loss recovery
+	Flows          int   // flows currently tracked
+}
+
+// amFlow is per-connection filter state, keyed by the remote endpoint.
+type amFlow struct {
+	rcvd       *metrics.RateEstimator // bytes from the remote per window
+	lastAck    int64                  // highest ack we have sent them
+	dupCnt     int
+	lastActive time.Duration
+}
+
+// AMFilter is the Age-based Manipulation component: a packet filter on the
+// mobile host's interface (the paper realizes it with Netfilter) that
+// (a) converts piggybacked ACKs into pure ACK + data while a connection is
+// YOUNG, making ACKs robust to size-dependent wireless loss, and (b) drops
+// every Nth outgoing DUPACK on MATURE connections so the packet count on
+// the wireless leg actually halves after a congestion event.
+type AMFilter struct {
+	engine *sim.Engine
+	cfg    AMConfig
+	flows  map[netem.Addr]*amFlow
+	stats  AMStats
+}
+
+// NewAMFilter builds the filter; call Install to attach it to an interface.
+func NewAMFilter(engine *sim.Engine, cfg AMConfig) *AMFilter {
+	return &AMFilter{
+		engine: engine,
+		cfg:    cfg.withDefaults(),
+		flows:  make(map[netem.Addr]*amFlow),
+	}
+}
+
+// Install attaches the filter to the interface: egress for manipulation,
+// ingress for peer-cwnd estimation.
+func (f *AMFilter) Install(iface *netem.Iface) {
+	iface.AddEgressFilter(netem.FilterFunc(f.filterEgress))
+	iface.AddIngressFilter(netem.FilterFunc(f.observeIngress))
+}
+
+// Stats returns intervention counters.
+func (f *AMFilter) Stats() AMStats {
+	s := f.stats
+	s.Flows = len(f.flows)
+	return s
+}
+
+func (f *AMFilter) flow(remote netem.Addr) *amFlow {
+	fl, ok := f.flows[remote]
+	if !ok {
+		fl = &amFlow{rcvd: metrics.NewRateEstimator(f.cfg.CwndWindow)}
+		f.flows[remote] = fl
+	}
+	fl.lastActive = f.engine.Now()
+	return fl
+}
+
+// Status classifies the flow to remote from its estimated peer congestion
+// window: bytes received within the last CwndWindow versus γ·MSS.
+func (f *AMFilter) Status(remote netem.Addr) FlowStatus {
+	fl, ok := f.flows[remote]
+	if !ok {
+		return FlowYoung
+	}
+	if fl.rcvd.Total(f.engine.Now()) < int64(f.cfg.GammaSegs*tcp.MSS) {
+		return FlowYoung
+	}
+	return FlowMature
+}
+
+// observeIngress accumulates payload arriving from each remote — the
+// receiver-side estimate of the remote sender's congestion window.
+func (f *AMFilter) observeIngress(pkt *netem.Packet) []*netem.Packet {
+	if seg, ok := pkt.Payload.(*tcp.Segment); ok && seg.Len > 0 {
+		f.flow(pkt.Src).rcvd.Add(f.engine.Now(), int64(seg.Len))
+	}
+	return []*netem.Packet{pkt}
+}
+
+// filterEgress implements the pseudo-code of the paper's Figure 5.
+func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
+	seg, ok := pkt.Payload.(*tcp.Segment)
+	if !ok || seg.SYN || seg.RST || !seg.HasAck {
+		return []*netem.Packet{pkt}
+	}
+	fl := f.flow(pkt.Dst)
+	status := f.Status(pkt.Dst)
+
+	if seg.Len > 0 {
+		// Data segment carrying (possibly new) piggybacked ACK information.
+		if seg.Ack > fl.lastAck {
+			ackAdvanced := seg.Ack
+			fl.lastAck = ackAdvanced
+			fl.dupCnt = 0
+			if status == FlowYoung {
+				// Decouple: convey the new ACK as a separate pure ACK ahead
+				// of the data packet, so a data-packet corruption does not
+				// take the ACK down with it.
+				f.stats.Decoupled++
+				pure := &tcp.Segment{Seq: seg.Seq, Ack: seg.Ack, HasAck: true}
+				purePkt := &netem.Packet{
+					Src:     pkt.Src,
+					Dst:     pkt.Dst,
+					Size:    pure.WireSize(),
+					Payload: pure,
+				}
+				return []*netem.Packet{purePkt, pkt}
+			}
+		}
+		return []*netem.Packet{pkt}
+	}
+
+	if seg.IsPureAck() {
+		if seg.Ack == fl.lastAck {
+			// A DUPACK leaving the mobile host.
+			fl.dupCnt++
+			if status == FlowMature && fl.dupCnt%f.cfg.DropEveryN == 0 {
+				// Thin one in N so the wireless leg's packet count halves
+				// after congestion instead of staying level.
+				f.stats.DupAcksDropped++
+				return nil
+			}
+		} else if seg.Ack > fl.lastAck {
+			fl.lastAck = seg.Ack
+			fl.dupCnt = 0
+		}
+	}
+	return []*netem.Packet{pkt}
+}
+
+// Prune drops state for flows idle longer than age.
+func (f *AMFilter) Prune(age time.Duration) {
+	cutoff := f.engine.Now() - age
+	for k, fl := range f.flows {
+		if fl.lastActive < cutoff {
+			delete(f.flows, k)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package wp2p
+
+import (
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// IdentityStore persists peer-ids per swarm, implementing IA's identity
+// retention: "as long as [task re-initiation] is for a swarm the mobile
+// peer was a member of before, the old peer-id is retained." A fresh id is
+// still generated per swarm, preserving the NAT-disambiguation rationale
+// for unique ids.
+type IdentityStore struct {
+	ids map[bt.InfoHash]bt.PeerID
+}
+
+// NewIdentityStore returns an empty store.
+func NewIdentityStore() *IdentityStore {
+	return &IdentityStore{ids: make(map[bt.InfoHash]bt.PeerID)}
+}
+
+// For returns the stored id for the swarm, generating and remembering one
+// from r if absent.
+func (s *IdentityStore) For(h bt.InfoHash, r interface{ Int63() int64 }) bt.PeerID {
+	if id, ok := s.ids[h]; ok {
+		return id
+	}
+	id := bt.NewPeerID(r)
+	s.ids[h] = id
+	return id
+}
+
+// Forget drops the stored id for a swarm.
+func (s *IdentityStore) Forget(h bt.InfoHash) { delete(s.ids, h) }
+
+// Len reports stored identities.
+func (s *IdentityStore) Len() int { return len(s.ids) }
+
+// Config assembles a wP2P client. BT configures the underlying BitTorrent
+// client; each component pointer enables that technique when non-nil, so
+// ablation studies can toggle them independently.
+type Config struct {
+	BT bt.Config
+
+	// AM enables Age-based Manipulation on the host interface.
+	AM *AMConfig
+	// LIHD enables upload-rate control. If BT.UploadLimiter is nil a
+	// limiter is created and installed.
+	LIHD *LIHDConfig
+	// MF enables mobility-aware fetching; its Pr field selects the
+	// schedule (nil = PrProgress, the paper's evaluation setting).
+	MF *MFConfig
+	// RR enables the role-reversal watchdog.
+	RR *RRConfig
+	// RetainIdentity enables IA identity retention: the peer-id survives
+	// task re-initiations within the same swarm.
+	RetainIdentity bool
+	// Identities holds per-swarm ids for identity retention; one is created
+	// if nil and RetainIdentity is set.
+	Identities *IdentityStore
+}
+
+// MFConfig selects the mobility-aware fetch schedule.
+type MFConfig struct {
+	// Pr is the rarest-first probability schedule (nil = PrProgress).
+	Pr PrFunc
+}
+
+// Client is the wP2P client: a bt.Client with the three wP2P components
+// wired in. Default-client behaviour is recovered by disabling every
+// component, which is how the evaluation scenarios build their baselines.
+type Client struct {
+	// BT is the underlying BitTorrent client; its read accessors are the
+	// client's metrics surface.
+	BT *bt.Client
+
+	am   *AMFilter
+	lihd *LIHD
+	mf   *MobilityFetch
+	rr   *RoleReversal
+
+	engine     *sim.Engine
+	iface      *netem.Iface
+	retainID   bool
+	identities *IdentityStore
+}
+
+// New assembles a wP2P client. The BT config must carry Stack, Torrent, and
+// Tracker, as for bt.NewClient.
+func New(cfg Config) *Client {
+	if cfg.BT.Stack == nil {
+		panic("wp2p: Config.BT.Stack is required")
+	}
+	engine := cfg.BT.Stack.Engine()
+	iface := cfg.BT.Stack.Iface()
+
+	c := &Client{
+		engine:     engine,
+		iface:      iface,
+		retainID:   cfg.RetainIdentity,
+		identities: cfg.Identities,
+	}
+
+	if cfg.MF != nil {
+		c.mf = NewMobilityFetch(cfg.MF.Pr)
+		cfg.BT.Picker = c.mf
+	}
+	if cfg.LIHD != nil {
+		if cfg.BT.UploadLimiter == nil {
+			cfg.BT.UploadLimiter = bt.NewLimiter(engine, cfg.LIHD.Umax/2)
+		}
+	}
+	if cfg.RetainIdentity && cfg.BT.PeerID == "" {
+		if c.identities == nil {
+			c.identities = NewIdentityStore()
+		}
+		cfg.BT.PeerID = c.identities.For(cfg.BT.Torrent.InfoHash(), engine.Rand())
+	}
+
+	c.BT = bt.NewClient(cfg.BT)
+
+	if cfg.AM != nil {
+		c.am = NewAMFilter(engine, *cfg.AM)
+		c.am.Install(iface)
+	}
+	if cfg.LIHD != nil {
+		c.lihd = NewLIHD(engine, cfg.BT.UploadLimiter, c.BT, *cfg.LIHD)
+	}
+	if cfg.RR != nil {
+		rrCfg := *cfg.RR
+		rrCfg.RetainIdentity = cfg.RetainIdentity
+		c.rr = NewRoleReversal(engine, c.BT, iface, rrCfg)
+	}
+	return c
+}
+
+// Start joins the swarm and starts every enabled component.
+func (c *Client) Start() {
+	c.BT.Start()
+	if c.lihd != nil {
+		c.lihd.Start()
+	}
+	if c.rr != nil {
+		c.rr.Start()
+	}
+}
+
+// Stop leaves the swarm and stops every enabled component.
+func (c *Client) Stop() {
+	if c.rr != nil {
+		c.rr.Stop()
+	}
+	if c.lihd != nil {
+		c.lihd.Stop()
+	}
+	c.BT.Stop()
+}
+
+// OnAddressChange reacts to a handoff explicitly (used when RR is disabled
+// or an external mobility manager drives the client): the task re-initiates
+// with the retained identity if IA is enabled, a fresh one otherwise, and
+// known peers are redialled immediately.
+func (c *Client) OnAddressChange() {
+	c.BT.Restart(!c.retainID)
+	c.BT.RedialKnown()
+}
+
+// AM returns the Age-based Manipulation filter, or nil if disabled.
+func (c *Client) AM() *AMFilter { return c.am }
+
+// LIHD returns the upload-rate controller, or nil if disabled.
+func (c *Client) LIHD() *LIHD { return c.lihd }
+
+// MF returns the mobility-aware fetcher, or nil if disabled.
+func (c *Client) MF() *MobilityFetch { return c.mf }
+
+// RR returns the role-reversal watchdog, or nil if disabled.
+func (c *Client) RR() *RoleReversal { return c.rr }
