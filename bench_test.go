@@ -22,12 +22,23 @@ package wp2p_test
 //	Fig 9(c)  BenchmarkFig9cRoleReversal
 
 import (
+	"os"
 	"testing"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/experiments"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 )
+
+// TestMain pins the figure benchmarks to the sequential execution path
+// (worker pool of 1), so their timings stay comparable across machines
+// and with the pre-runner history. Parallel speedups are measured at the
+// CLI (`wp2p-sim -parallel`), not here.
+func TestMain(m *testing.M) {
+	runner.SetWorkers(1)
+	os.Exit(m.Run())
+}
 
 // benchScale keeps each iteration around a second of wall time.
 const benchScale = 0.05

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wp2p/wp2p/internal/runner"
+)
+
+// TestParallelMatchesSequential is the guardrail for the parallel sweep
+// harness: a sample of registry experiments, spanning the tcp, bt, wp2p,
+// and gnutella stacks, must produce bit-identical Result series whether
+// the runs execute inline (pool of 1) or fanned across a worker pool.
+// Every run owns a private Engine/World/RNG and all float reductions
+// happen in run order, so any divergence here means shared state leaked
+// into the harness.
+func TestParallelMatchesSequential(t *testing.T) {
+	const scale = 0.05
+	sample := []string{"fig2a", "fig4bc", "fig9ab", "ext-gnutella"}
+	prev := runner.SetWorkers(1)
+	defer runner.SetWorkers(prev)
+	for _, id := range sample {
+		t.Run(id, func(t *testing.T) {
+			runner.SetWorkers(1)
+			seq := Registry(scale)[id]()
+			runner.SetWorkers(4)
+			par := Registry(scale)[id]()
+			if !reflect.DeepEqual(seq.Series, par.Series) {
+				t.Errorf("parallel series diverged from sequential:\nseq: %+v\npar: %+v",
+					seq.Series, par.Series)
+			}
+			if !reflect.DeepEqual(seq.Notes, par.Notes) {
+				t.Errorf("notes diverged:\nseq: %v\npar: %v", seq.Notes, par.Notes)
+			}
+		})
+	}
+}
+
+// TestRegistryHonorsScale pins the fig2 satellite fix: the registry must
+// thread its scale argument into every experiment config, including the
+// fig2 pair that used to ignore it.
+func TestRegistryHonorsScale(t *testing.T) {
+	full := Fig2aConfig{}.withDefaults()
+	tiny := Fig2aConfig{Scale: 0.05}.withDefaults()
+	if tiny.Duration >= full.Duration {
+		t.Errorf("fig2a scale ignored: tiny duration %v vs full %v", tiny.Duration, full.Duration)
+	}
+	fullBC := Fig2bcConfig{}.withDefaults()
+	tinyBC := Fig2bcConfig{Scale: 0.05}.withDefaults()
+	if tinyBC.Duration >= fullBC.Duration {
+		t.Errorf("fig2bc scale ignored: tiny duration %v vs full %v", tinyBC.Duration, fullBC.Duration)
+	}
+	// An explicit duration must still win over scale.
+	explicit := Fig2aConfig{Scale: 0.05, Duration: full.Duration}.withDefaults()
+	if explicit.Duration != full.Duration {
+		t.Errorf("explicit duration overridden: %v", explicit.Duration)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/ed2k"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 )
 
 // Ed2kConfig parameterizes the §3.7 cross-protocol experiment.
@@ -116,22 +117,25 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		return x, y
 	}
 
-	average := func(retain bool) (x, avg []float64) {
-		for r := 0; r < cfg.Runs; r++ {
+	type curve struct{ x, y []float64 }
+	average := func(retain bool) curve {
+		curves := runner.Map(cfg.Runs, func(r int) curve {
 			xs, ys := run(retain, cfg.Seed+int64(r)*601)
-			if avg == nil {
-				x = xs
-				avg = make([]float64, len(ys))
-			}
-			for i := range ys {
-				avg[i] += ys[i] / float64(cfg.Runs)
+			return curve{xs, ys}
+		})
+		avg := make([]float64, len(curves[0].y))
+		for _, c := range curves {
+			for i := range c.y {
+				avg[i] += c.y[i] / float64(cfg.Runs)
 			}
 		}
-		return x, avg
+		return curve{curves[0].x, avg}
 	}
 
-	x, defY := average(false)
-	_, keepY := average(true)
+	// Retain-vs-regenerate are independent too; fan them along with runs.
+	both := runner.Map(2, func(i int) curve { return average(i == 1) })
+	x, defY := both[0].x, both[0].y
+	keepY := both[1].y
 	res.AddSeries("new hash each handoff (default)", x, defY)
 	res.AddSeries("hash retained (wP2P principle)", x, keepY)
 	if n := len(x) - 1; n >= 0 && defY[n] > 0 {

@@ -137,8 +137,8 @@ func Registry(scale float64) map[string]Runner {
 		scale = 1
 	}
 	return map[string]Runner{
-		"fig2a":  func() *Result { return Fig2aBiVsUniTCP(Fig2aConfig{}) },
-		"fig2bc": func() *Result { return Fig2bcPacketsAfterDrop(Fig2bcConfig{}) },
+		"fig2a":  func() *Result { return Fig2aBiVsUniTCP(Fig2aConfig{Scale: scale}) },
+		"fig2bc": func() *Result { return Fig2bcPacketsAfterDrop(Fig2bcConfig{Scale: scale}) },
 		"fig3a":  func() *Result { return Fig3aUploadCapWired(Fig3Config{Scale: scale}) },
 		"fig3b":  func() *Result { return Fig3bUploadCapWireless(Fig3Config{Scale: scale}) },
 		"fig3c":  func() *Result { return Fig3cIncentiveMobility(Fig3cConfig{Scale: scale}) },

@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/tcp"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
@@ -111,14 +112,21 @@ func AblationWP2P(cfg AblationConfig) *Result {
 		return mb(client.BT.Downloaded()), playable
 	}
 
+	pts := runner.Sweep(variants, func(i int, v variant) [2]float64 {
+		pairs := runner.Map(cfg.Runs, func(r int) [2]float64 {
+			d, p := runVariant(i, v, cfg.Seed+int64(r)*431)
+			return [2]float64{d, p}
+		})
+		var dl, play float64
+		for _, pair := range pairs {
+			dl += pair[0] / float64(cfg.Runs)
+			play += pair[1] / float64(cfg.Runs)
+		}
+		return [2]float64{dl, play}
+	})
 	var xs, mbs, plays []float64
 	for i, v := range variants {
-		var dl, play float64
-		for r := 0; r < cfg.Runs; r++ {
-			d, p := runVariant(i, v, cfg.Seed+int64(r)*431)
-			dl += d / float64(cfg.Runs)
-			play += p / float64(cfg.Runs)
-		}
+		dl, play := pts[i][0], pts[i][1]
 		xs = append(xs, float64(i))
 		mbs = append(mbs, dl)
 		plays = append(plays, play)
@@ -243,9 +251,15 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 		return float64(fgTotal) / secs, float64(seedUp()) / secs
 	}
 
-	fg0, up0 := run(true, false)
-	fg1, _ := run(false, false)
-	fg2, up2 := run(true, true)
+	// The three variants are independent worlds; fan them across the pool.
+	variants := [][2]bool{{true, false}, {false, false}, {true, true}}
+	outs := runner.Sweep(variants, func(_ int, v [2]bool) [2]float64 {
+		fg, up := run(v[0], v[1])
+		return [2]float64{fg, up}
+	})
+	fg0, up0 := outs[0][0], outs[0][1]
+	fg1 := outs[1][0]
+	fg2, up2 := outs[2][0], outs[2][1]
 	res.AddSeries("foreground KB/s", []float64{0, 1, 2}, []float64{kbps(fg0), kbps(fg1), kbps(fg2)})
 	res.AddSeries("P2P upload KB/s", []float64{0, 1, 2}, []float64{kbps(up0), 0, kbps(up2)})
 	res.Note("uncapped seeding costs the foreground %.0f%% of its no-seeding rate; LIHD recovers it to %.0f%% while still uploading %.0f KB/s",

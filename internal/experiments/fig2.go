@@ -4,11 +4,15 @@ import (
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
 
 // Fig2aConfig parameterizes the bi- vs uni-directional TCP comparison.
 type Fig2aConfig struct {
+	// Scale shrinks the default measurement window for quick runs
+	// (1.0 = full). An explicit Duration wins over Scale.
+	Scale    float64
 	BERs     []float64     // x-axis (default: 0 … 2e-5, the paper's range)
 	Duration time.Duration // measurement window per point (default 2 min)
 	Runs     int           // averaged runs per point (paper: 5)
@@ -17,11 +21,14 @@ type Fig2aConfig struct {
 }
 
 func (c Fig2aConfig) withDefaults() Fig2aConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
 	if len(c.BERs) == 0 {
 		c.BERs = []float64{0, 5e-6, 1e-5, 1.5e-5, 2e-5}
 	}
 	if c.Duration == 0 {
-		c.Duration = 2 * time.Minute
+		c.Duration = scaledDur(2*time.Minute, c.Scale, 20*time.Second)
 	}
 	if c.Runs == 0 {
 		c.Runs = 5
@@ -72,15 +79,21 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 		return float64(rcvd) / (w.Engine.Now() - start).Seconds()
 	}
 
-	var biY, uniY []float64
-	for _, ber := range cfg.BERs {
+	pts := runner.Sweep(cfg.BERs, func(_ int, ber float64) [2]float64 {
+		pairs := runner.Map(cfg.Runs, func(r int) [2]float64 {
+			return [2]float64{measure(true, ber, r), measure(false, ber, r)}
+		})
 		var bi, uni float64
-		for r := 0; r < cfg.Runs; r++ {
-			bi += measure(true, ber, r)
-			uni += measure(false, ber, r)
+		for _, pair := range pairs {
+			bi += pair[0]
+			uni += pair[1]
 		}
-		biY = append(biY, kbps(bi/float64(cfg.Runs)))
-		uniY = append(uniY, kbps(uni/float64(cfg.Runs)))
+		return [2]float64{kbps(bi / float64(cfg.Runs)), kbps(uni / float64(cfg.Runs))}
+	})
+	biY := make([]float64, len(pts))
+	uniY := make([]float64, len(pts))
+	for i, pt := range pts {
+		biY[i], uniY[i] = pt[0], pt[1]
 	}
 	res.AddSeries("Bi-TCP", cfg.BERs, biY)
 	res.AddSeries("Uni-TCP", cfg.BERs, uniY)
@@ -92,6 +105,9 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 
 // Fig2bcConfig parameterizes the packets-on-the-wireless-leg trace.
 type Fig2bcConfig struct {
+	// Scale shrinks the default trace length for quick runs (1.0 = full).
+	// An explicit Duration wins over Scale.
+	Scale    float64
 	Duration time.Duration // trace length (default 5 s, as in the figure)
 	Sample   time.Duration // sampling period (default 100 ms)
 	Rate     netem.Rate    // wireless bandwidth (default 100 KB/s)
@@ -100,8 +116,11 @@ type Fig2bcConfig struct {
 }
 
 func (c Fig2bcConfig) withDefaults() Fig2bcConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
 	if c.Duration == 0 {
-		c.Duration = 5 * time.Second
+		c.Duration = scaledDur(5*time.Second, c.Scale, 2*time.Second)
 	}
 	if c.Sample == 0 {
 		c.Sample = 100 * time.Millisecond
@@ -177,8 +196,17 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 		return times, pkts, drops, postDropAvg
 	}
 
-	tu, pu, du, uniAvg := trace(false)
-	_, pb, db, biAvg := trace(true)
+	// The two traces are independent worlds; fan them across the pool.
+	type traceOut struct {
+		times, pkts, drops []float64
+		postDropAvg        float64
+	}
+	outs := runner.Map(2, func(i int) traceOut {
+		t, p, d, avg := trace(i == 1)
+		return traceOut{t, p, d, avg}
+	})
+	tu, pu, du, uniAvg := outs[0].times, outs[0].pkts, outs[0].drops, outs[0].postDropAvg
+	pb, db, biAvg := outs[1].pkts, outs[1].drops, outs[1].postDropAvg
 	res.AddSeries("uni packets", tu, pu)
 	res.AddSeries("uni drops", tu, du)
 	res.AddSeries("bi packets", tu, pb)

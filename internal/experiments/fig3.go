@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 )
 
 // Fig3Config parameterizes the upload-cap sweeps of Figures 3(a) and 3(b).
@@ -47,15 +48,14 @@ func (c Fig3Config) withDefaults() Fig3Config {
 	return c
 }
 
-// uploadCapAveraged averages uploadCapPoint over cfg.Runs seeds.
+// uploadCapAveraged averages uploadCapPoint over cfg.Runs seeds. Each run
+// owns a private World, so the runs fan across the runner pool.
 func uploadCapAveraged(cfg Fig3Config, wireless bool, capFrac float64) float64 {
-	sum := 0.0
-	for r := 0; r < cfg.Runs; r++ {
+	return runner.Average(cfg.Runs, func(r int) float64 {
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)*211
-		sum += uploadCapPoint(c, wireless, capFrac)
-	}
-	return sum / float64(cfg.Runs)
+		return uploadCapPoint(c, wireless, capFrac)
+	})
 }
 
 // Contested-swarm parameters: seed capacity is scarce, so leech
@@ -154,11 +154,12 @@ func Fig3aUploadCapWired(cfg Fig3Config) *Result {
 		YLabel: "aggregate download throughput (KB/s)",
 	}
 	x := make([]float64, len(cfg.CapFractions))
-	y := make([]float64, len(cfg.CapFractions))
 	for i, f := range cfg.CapFractions {
 		x[i] = f * 100
-		y[i] = kbps(uploadCapAveraged(cfg, false, f))
 	}
+	y := runner.Sweep(cfg.CapFractions, func(_ int, f float64) float64 {
+		return kbps(uploadCapAveraged(cfg, false, f))
+	})
 	res.AddSeries("wired", x, y)
 	res.Note("expected shape: monotone-increasing (more upload buys more reciprocation)")
 	return res
@@ -177,11 +178,12 @@ func Fig3bUploadCapWireless(cfg Fig3Config) *Result {
 		YLabel: "aggregate download throughput (KB/s)",
 	}
 	x := make([]float64, len(cfg.CapFractions))
-	y := make([]float64, len(cfg.CapFractions))
 	for i, f := range cfg.CapFractions {
 		x[i] = f * 100
-		y[i] = kbps(uploadCapAveraged(cfg, true, f))
 	}
+	y := runner.Sweep(cfg.CapFractions, func(_ int, f float64) float64 {
+		return kbps(uploadCapAveraged(cfg, true, f))
+	})
 	res.AddSeries("wireless", x, y)
 	peakAt, peak := 0.0, 0.0
 	for i, v := range y {
@@ -298,28 +300,41 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 		return x, y
 	}
 
-	run := func(mobile, uploading bool) (x, avg []float64) {
-		for r := 0; r < cfg.Runs; r++ {
+	type curve struct{ x, y []float64 }
+	run := func(mobile, uploading bool) curve {
+		curves := runner.Map(cfg.Runs, func(r int) curve {
 			xs, ys := runOnce(mobile, uploading, cfg.Seed+int64(r)*811)
-			if avg == nil {
-				x = xs
-				avg = make([]float64, len(ys))
-			}
-			for i := range ys {
-				avg[i] += ys[i] / float64(cfg.Runs)
+			return curve{xs, ys}
+		})
+		avg := make([]float64, len(curves[0].y))
+		for _, c := range curves {
+			for i := range c.y {
+				avg[i] += c.y[i] / float64(cfg.Runs)
 			}
 		}
-		return x, avg
+		return curve{curves[0].x, avg}
 	}
 
-	x, y := run(false, true)
-	res.AddSeries("no mobility, uploading", x, y)
-	_, y2 := run(false, false)
-	res.AddSeries("no mobility, no uploading", x, y2)
-	_, y3 := run(true, true)
-	res.AddSeries("mobility, uploading", x, y3)
-	_, y4 := run(true, false)
-	res.AddSeries("mobility, no uploading", x, y4)
+	// The four incentive × mobility cells are independent worlds too, so
+	// they fan out along with their runs.
+	type combo struct {
+		label             string
+		mobile, uploading bool
+	}
+	combos := []combo{
+		{"no mobility, uploading", false, true},
+		{"no mobility, no uploading", false, false},
+		{"mobility, uploading", true, true},
+		{"mobility, no uploading", true, false},
+	}
+	cells := runner.Sweep(combos, func(_ int, c combo) curve {
+		return run(c.mobile, c.uploading)
+	})
+	x := cells[0].x
+	for i, c := range combos {
+		res.AddSeries(c.label, x, cells[i].y)
+	}
+	y, y2, y3, y4 := cells[0].y, cells[1].y, cells[2].y, cells[3].y
 	last := len(x) - 1
 	if last >= 0 {
 		res.Note("final MB: noMob/up=%.1f noMob/noUp=%.1f mob/up=%.1f mob/noUp=%.1f",

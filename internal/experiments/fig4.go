@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/media"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 )
 
 // Fig4aConfig parameterizes the server-mobility experiment.
@@ -82,12 +83,16 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 	}
 
 	x := make([]float64, len(cfg.Periods))
-	one := make([]float64, len(cfg.Periods))
-	all := make([]float64, len(cfg.Periods))
 	for i, p := range cfg.Periods {
 		x[i] = p.Minutes()
-		one[i] = kbps(run(p, 1))
-		all[i] = kbps(run(p, cfg.Seeds))
+	}
+	pts := runner.Sweep(cfg.Periods, func(_ int, p time.Duration) [2]float64 {
+		return [2]float64{kbps(run(p, 1)), kbps(run(p, cfg.Seeds))}
+	})
+	one := make([]float64, len(pts))
+	all := make([]float64, len(pts))
+	for i, pt := range pts {
+		one[i], all[i] = pt[0], pt[1]
 	}
 	res.AddSeries("one peer is mobile", x, one)
 	res.AddSeries("all peers are mobile", x, all)
@@ -155,17 +160,10 @@ func playabilityCurve(seed int64, fileSize int64, picker bt.Picker) []float64 {
 }
 
 func averagedCurves(cfg FigPlayConfig, fileSize int64, picker func() bt.Picker) []float64 {
-	acc := make([]float64, 10)
-	for r := 0; r < cfg.Runs; r++ {
-		c := playabilityCurve(cfg.Seed+int64(r)*101, fileSize, picker())
-		for i := range acc {
-			acc[i] += c[i]
-		}
-	}
-	for i := range acc {
-		acc[i] /= float64(cfg.Runs)
-	}
-	return acc
+	// picker() is invoked inside each run so every world owns its picker.
+	return runner.AverageSeries(cfg.Runs, func(r int) []float64 {
+		return playabilityCurve(cfg.Seed+int64(r)*101, fileSize, picker())
+	})
 }
 
 var downloadedPctAxis = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}

@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -98,16 +99,22 @@ func Fig8aAgeBasedManipulation(cfg Fig8aConfig) *Result {
 		return rate(def.Downloaded(), def.CompletedAt()), rate(wpc.BT.Downloaded(), wpc.BT.CompletedAt())
 	}
 
-	var defY, wpY []float64
-	for _, ber := range cfg.BERs {
-		var d, p float64
-		for r := 0; r < cfg.Runs; r++ {
+	pts := runner.Sweep(cfg.BERs, func(_ int, ber float64) [2]float64 {
+		pairs := runner.Map(cfg.Runs, func(r int) [2]float64 {
 			dr, pr := run(ber, r)
-			d += dr
-			p += pr
+			return [2]float64{dr, pr}
+		})
+		var d, p float64
+		for _, pair := range pairs {
+			d += pair[0]
+			p += pair[1]
 		}
-		defY = append(defY, kbps(d/float64(cfg.Runs)))
-		wpY = append(wpY, kbps(p/float64(cfg.Runs)))
+		return [2]float64{kbps(d / float64(cfg.Runs)), kbps(p / float64(cfg.Runs))}
+	})
+	defY := make([]float64, len(pts))
+	wpY := make([]float64, len(pts))
+	for i, pt := range pts {
+		defY[i], wpY[i] = pt[0], pt[1]
 	}
 	res.AddSeries("Default P2P", cfg.BERs, defY)
 	res.AddSeries("wP2P (AM)", cfg.BERs, wpY)
@@ -230,17 +237,18 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 		return x, defY, wpY
 	}
 
-	var x, defAvg, wpAvg []float64
-	for r := 0; r < cfg.Runs; r++ {
+	type curves struct{ x, def, wp []float64 }
+	all := runner.Map(cfg.Runs, func(r int) curves {
 		xs, d, p := run(cfg.Seed + int64(r)*733)
-		if defAvg == nil {
-			x = xs
-			defAvg = make([]float64, len(d))
-			wpAvg = make([]float64, len(p))
-		}
-		for i := range d {
-			defAvg[i] += d[i] / float64(cfg.Runs)
-			wpAvg[i] += p[i] / float64(cfg.Runs)
+		return curves{xs, d, p}
+	})
+	x := all[0].x
+	defAvg := make([]float64, len(all[0].def))
+	wpAvg := make([]float64, len(all[0].wp))
+	for _, c := range all {
+		for i := range c.def {
+			defAvg[i] += c.def[i] / float64(cfg.Runs)
+			wpAvg[i] += c.wp[i] / float64(cfg.Runs)
 		}
 	}
 	res.AddSeries("Default P2P", x, defAvg)
@@ -336,16 +344,25 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 		return float64(c.Downloaded()) / cfg.Duration.Seconds()
 	}
 
-	var x, defY, wpY []float64
-	for _, bw := range cfg.Bandwidths {
-		x = append(x, float64(bw)/1000)
+	x := make([]float64, len(cfg.Bandwidths))
+	for i, bw := range cfg.Bandwidths {
+		x[i] = float64(bw) / 1000
+	}
+	pts := runner.Sweep(cfg.Bandwidths, func(_ int, bw netem.Rate) [2]float64 {
+		pairs := runner.Map(cfg.Runs, func(r int) [2]float64 {
+			return [2]float64{run(bw, false, r), run(bw, true, r)}
+		})
 		var d, p float64
-		for r := 0; r < cfg.Runs; r++ {
-			d += run(bw, false, r)
-			p += run(bw, true, r)
+		for _, pair := range pairs {
+			d += pair[0]
+			p += pair[1]
 		}
-		defY = append(defY, kbps(d/float64(cfg.Runs)))
-		wpY = append(wpY, kbps(p/float64(cfg.Runs)))
+		return [2]float64{kbps(d / float64(cfg.Runs)), kbps(p / float64(cfg.Runs))}
+	})
+	defY := make([]float64, len(pts))
+	wpY := make([]float64, len(pts))
+	for i, pt := range pts {
+		defY[i], wpY[i] = pt[0], pt[1]
 	}
 	res.AddSeries("Default P2P", x, defY)
 	res.AddSeries("wP2P (LIHD)", x, wpY)

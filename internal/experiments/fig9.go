@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -118,17 +119,26 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 		return float64(uploaded()) / cfg.Horizon.Seconds()
 	}
 
-	var x, defY, wpY []float64
-	for _, p := range cfg.Periods {
-		x = append(x, p.Minutes())
-		var d, wpv float64
-		for r := 0; r < cfg.Runs; r++ {
+	x := make([]float64, len(cfg.Periods))
+	for i, p := range cfg.Periods {
+		x[i] = p.Minutes()
+	}
+	pts := runner.Sweep(cfg.Periods, func(_ int, p time.Duration) [2]float64 {
+		pairs := runner.Map(cfg.Runs, func(r int) [2]float64 {
 			seed := cfg.Seed + int64(r)*547
-			d += run(p, false, seed)
-			wpv += run(p, true, seed)
+			return [2]float64{run(p, false, seed), run(p, true, seed)}
+		})
+		var d, wpv float64
+		for _, pair := range pairs {
+			d += pair[0]
+			wpv += pair[1]
 		}
-		defY = append(defY, kbps(d/float64(cfg.Runs)))
-		wpY = append(wpY, kbps(wpv/float64(cfg.Runs)))
+		return [2]float64{kbps(d / float64(cfg.Runs)), kbps(wpv / float64(cfg.Runs))}
+	})
+	defY := make([]float64, len(pts))
+	wpY := make([]float64, len(pts))
+	for i, pt := range pts {
+		defY[i], wpY[i] = pt[0], pt[1]
 	}
 	res.AddSeries("Default P2P", x, defY)
 	res.AddSeries("wP2P (RR)", x, wpY)

@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/gnutella"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/runner"
 )
 
 // GnutellaConfig parameterizes the second-generation-network experiment.
@@ -113,15 +114,15 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 		return float64(searcher.Downloaded()) / window.Seconds()
 	}
 
-	var x, y []float64
-	for _, p := range cfg.Periods {
-		x = append(x, p.Minutes())
-		sum := 0.0
-		for r := 0; r < cfg.Runs; r++ {
-			sum += run(p, cfg.Seed+int64(r)*911)
-		}
-		y = append(y, kbps(sum/float64(cfg.Runs)))
+	x := make([]float64, len(cfg.Periods))
+	for i, p := range cfg.Periods {
+		x[i] = p.Minutes()
 	}
+	y := runner.Sweep(cfg.Periods, func(_ int, p time.Duration) float64 {
+		return kbps(runner.Average(cfg.Runs, func(r int) float64 {
+			return run(p, cfg.Seed+int64(r)*911)
+		}))
+	})
 	res.AddSeries("fixed searcher", x, y)
 	if len(y) > 1 && y[0] > 0 {
 		res.Note("fastest churn delivers %.0f%% of the static rate — server mobility bites 2nd-gen networks too, with no identity to lose (§3.7)",

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,8 +17,16 @@ import (
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now     time.Duration
-	queue   eventQueue
+	now time.Duration
+	// queue is a specialized binary min-heap ordered by (at, seq). It is
+	// inlined here rather than built on container/heap: Schedule/Step are
+	// the inner loop of every simulation (millions of packet and timer
+	// events per run), and the interface-based heap costs an allocation
+	// plus two indirect calls per operation.
+	queue []*Event
+	// free holds expired Event structs for reuse, so steady-state
+	// Schedule/Step cycles allocate nothing.
+	free    []*Event
 	seq     uint64
 	rng     *rand.Rand
 	running bool
@@ -55,6 +62,13 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// An Event handle is live from Schedule until the event fires or is
+// cancelled. After that the engine recycles the struct for a later
+// Schedule call, so a retained handle may suddenly describe an unrelated
+// pending event. Holders that outlive their event must drop the handle
+// when it fires (as Timer does, by clearing its field inside the
+// callback) and must not Cancel or inspect it afterwards.
 type Event struct {
 	at      time.Duration
 	seq     uint64
@@ -71,6 +85,8 @@ func (ev *Event) At() time.Duration { return ev.at }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero. Events scheduled for the same instant fire in scheduling order.
+// The returned handle is valid until the event fires or is cancelled; see
+// the Event lifetime rules.
 func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
@@ -78,9 +94,20 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.expired = false
+	} else {
+		ev = &Event{}
+	}
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -90,26 +117,29 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
 	return e.Schedule(t-e.now, fn)
 }
 
-// Cancel removes a pending event. Cancelling a nil, fired, or already
-// cancelled event is a no-op.
+// Cancel removes a pending event and recycles it. Cancelling a nil, fired,
+// or already cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.expired || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	e.remove(ev.index)
 	ev.expired = true
+	e.release(ev)
 }
 
 // Step fires the next pending event and advances the clock to it.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.pop()
 	ev.expired = true
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	fn()
+	e.release(ev)
 	return true
 }
 
@@ -137,7 +167,7 @@ func (e *Engine) run(cond func() bool) {
 	e.running = true
 	e.stopped = false
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 && !e.stopped && cond() {
+	for len(e.queue) > 0 && !e.stopped && cond() {
 		e.Step()
 	}
 }
@@ -147,43 +177,105 @@ func (e *Engine) run(cond func() bool) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // String describes the engine state, for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now: %v, pending: %d}", e.now, e.queue.Len())
+	return fmt.Sprintf("sim.Engine{now: %v, pending: %d}", e.now, len(e.queue))
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// release clears an expired event and parks it for reuse. The free list is
+// bounded by the peak number of simultaneously pending events.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
 	ev.index = -1
-	*q = old[:n-1]
+	e.free = append(e.free, ev)
+}
+
+// eventLess orders the heap by (at, seq): earliest deadline first, ties
+// broken by scheduling order.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) pop() *Event {
+	q := e.queue
+	n := len(q)
+	ev := q[0]
+	last := q[n-1]
+	q[n-1] = nil
+	e.queue = q[:n-1]
+	if n > 1 {
+		q[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	ev.index = -1
 	return ev
+}
+
+// remove deletes the element at heap position i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q)
+	last := q[n-1]
+	q[n-1] = nil
+	e.queue = q[:n-1]
+	if i == n-1 {
+		return
+	}
+	q[i] = last
+	last.index = i
+	e.siftDown(i)
+	if last.index == i {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = i
+		i = child
+	}
+	q[i] = ev
+	ev.index = i
 }

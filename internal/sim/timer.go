@@ -8,6 +8,7 @@ import "time"
 type Timer struct {
 	engine *Engine
 	fn     func()
+	fire   func() // bound once so Reset never allocates a closure
 	ev     *Event
 }
 
@@ -16,16 +17,18 @@ func NewTimer(engine *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer called with nil function")
 	}
-	return &Timer{engine: engine, fn: fn}
+	t := &Timer{engine: engine, fn: fn}
+	t.fire = func() {
+		t.ev = nil
+		t.fn()
+	}
+	return t
 }
 
 // Reset arms the timer to fire after d, replacing any pending firing.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.engine.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.engine.Schedule(d, t.fire)
 }
 
 // Stop disarms the timer. Stopping an unarmed timer is a no-op.
@@ -45,6 +48,7 @@ type Ticker struct {
 	engine   *Engine
 	interval time.Duration
 	fn       func()
+	tick     func() // bound once so re-arming never allocates a closure
 	ev       *Event
 	stopped  bool
 }
@@ -59,12 +63,7 @@ func NewTicker(engine *Engine, interval time.Duration, fn func()) *Ticker {
 		panic("sim: NewTicker called with nil function")
 	}
 	t := &Ticker{engine: engine, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.Schedule(t.interval, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -72,7 +71,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.interval, t.tick)
 }
 
 // Stop permanently halts the ticker.
