@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	wp2p-sim [-scale 1.0] [-parallel N] [-list] [experiment ...]
+//	wp2p-sim [-scale 1.0] [-parallel N] [-stats] [-json dir] [-trace spec]
+//	         [-cpuprofile f] [-memprofile f] [-list] [experiment ...]
 //
 // With no experiment arguments every figure is run in order. Scale < 1
 // shrinks file sizes and horizons proportionally for quick runs.
@@ -13,6 +14,13 @@
 // pool — but tables always print in submission order, and results are
 // bit-identical to -parallel 1: every run owns a private engine, world,
 // and RNG, and all averaging is reduced in run order.
+//
+// -stats prints each experiment's cross-layer counter summary under its
+// table; -json writes each result (with the stats section) as
+// wp2p.result.v1 JSON into the given directory. -trace attaches a flight
+// recorder to every simulated world and dumps the retained tail to stderr;
+// the spec filters by watch point, e.g. "net=drop" or "wlan" (comma-
+// separated source=kind patterns, * wildcards, empty records everything).
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/experiments"
@@ -27,11 +36,23 @@ import (
 )
 
 func main() {
+	// All the work happens in run so its defers (notably StopCPUProfile,
+	// which flushes the profile) fire before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-faithful sizes, smaller = faster")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	stats := flag.Bool("stats", false, "print each experiment's cross-layer stats summary")
+	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
+	traceSpec := flag.String("trace", "", "record a flight-recorder trace per world, filtered by source=kind spec (\"*\" = everything); dumped to stderr")
+	traceCap := flag.Int("tracecap", 0, "flight-recorder ring capacity per world (0 = default 1024)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wp2p-sim [-scale f] [-parallel n] [-list] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: wp2p-sim [-scale f] [-parallel n] [-stats] [-json dir] [-trace spec] [-list] [experiment ...]\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(os.Stderr, "  %s\n", id)
 		}
@@ -43,7 +64,23 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if isFlagSet("trace") || *traceCap > 0 {
+		experiments.EnableTracing(*traceSpec, *traceCap, os.Stderr)
 	}
 
 	runner.SetWorkers(*parallel)
@@ -76,7 +113,44 @@ func main() {
 		},
 		func(i int, o outcome) {
 			fmt.Println(o.res.Table())
+			if *stats {
+				fmt.Print(o.res.Stats.Table())
+			}
+			if *jsonDir != "" {
+				if path, err := o.res.ExportJSON(*jsonDir); err != nil {
+					fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+					exit = 1
+				} else {
+					fmt.Printf("[wrote %s]\n", path)
+				}
+			}
 			fmt.Printf("[%s completed in %v]\n\n", valid[i], o.dur.Round(time.Millisecond))
 		})
-	os.Exit(exit)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			return 1
+		}
+		f.Close()
+	}
+	return exit
+}
+
+// isFlagSet reports whether the named flag appeared on the command line, so
+// `-trace ""` (trace everything) is distinguishable from no -trace at all.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

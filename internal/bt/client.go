@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
 
@@ -159,6 +160,26 @@ type Client struct {
 	OnComplete func()
 	// OnPieceComplete fires for every verified piece.
 	OnPieceComplete func(piece int)
+
+	reg clientStats
+}
+
+// clientStats holds the registry instruments shared by all clients on an
+// engine, pre-bound once in NewClient.
+type clientStats struct {
+	piecesCompleted *stats.Counter
+	hashFails       *stats.Counter
+	chokes          *stats.Counter
+	unchokes        *stats.Counter
+	identityResets  *stats.Counter
+}
+
+func (cs *clientStats) bind(reg *stats.Registry) {
+	cs.piecesCompleted = reg.Counter("bt.pieces_completed")
+	cs.hashFails = reg.Counter("bt.hash_fails")
+	cs.chokes = reg.Counter("bt.chokes")
+	cs.unchokes = reg.Counter("bt.unchokes")
+	cs.identityResets = reg.Counter("bt.identity_resets")
 }
 
 // NewClient builds a client; call Start to join the swarm.
@@ -195,6 +216,7 @@ func NewClient(cfg Config) *Client {
 	c.downTotal = metrics.NewRateEstimator(c.cfg.RateWindow)
 	c.upTotal = metrics.NewRateEstimator(c.cfg.RateWindow)
 	c.chk = choker{client: c}
+	c.reg.bind(c.engine.Stats())
 
 	switch {
 	case c.cfg.Seed:
@@ -319,7 +341,10 @@ func (c *Client) Restart(newIdentity bool) {
 	}
 	c.restarts++
 	if newIdentity {
+		// A fresh peer-id orphans every credit entry remote ledgers hold for
+		// the old identity — the tit-for-tat reset the paper quantifies.
 		c.peerID = NewPeerID(c.engine.Rand())
+		c.reg.identityResets.Inc()
 	}
 	for _, p := range append([]*peerConn(nil), c.peers...) {
 		p.close()
@@ -725,6 +750,7 @@ func (c *Client) onBlock(p *peerConn, piece, block, length int, corrupt bool) {
 // peer is banned — the strategy real clients use.
 func (c *Client) failPiece(prog *pieceProgress) {
 	c.hashFails++
+	c.reg.hashFails.Inc()
 	c.removeActive(prog.piece)
 	c.pending.Clear(prog.piece)
 	if len(prog.contributors) == 1 {
@@ -768,6 +794,7 @@ func (c *Client) Banned(id PeerID) bool { return c.banned[id] }
 // completePiece verifies a finished piece, records it, and announces it to
 // the swarm.
 func (c *Client) completePiece(piece int) {
+	c.reg.piecesCompleted.Inc()
 	c.removeActive(piece)
 	c.pending.Clear(piece)
 	delete(c.failedOnce, piece)

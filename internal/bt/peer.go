@@ -290,9 +290,11 @@ func (p *peerConn) setChoke(choke bool) {
 	}
 	p.amChoking = choke
 	if choke {
+		p.client.reg.chokes.Inc()
 		p.sendQ = nil // choked peers get nothing further
 		p.send(msgChoke{})
 	} else {
+		p.client.reg.unchokes.Inc()
 		p.unchokedAt = p.client.engine.Now()
 		p.send(msgUnchoke{})
 	}

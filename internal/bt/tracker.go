@@ -6,6 +6,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // AnnounceEvent marks the lifecycle stage of an announce.
@@ -68,6 +69,9 @@ type Tracker struct {
 
 	// Announces counts announce requests, for tests.
 	Announces int
+
+	regAnnounces   *stats.Counter
+	regReannounces *stats.Counter
 }
 
 type trackerEntry struct {
@@ -90,10 +94,12 @@ func NewTracker(engine *sim.Engine, cfg TrackerConfig) *Tracker {
 		cfg.RTT = DefaultTrackerRTT
 	}
 	return &Tracker{
-		engine:   engine,
-		interval: cfg.Interval,
-		rtt:      cfg.RTT,
-		swarms:   make(map[InfoHash]map[PeerID]*trackerEntry),
+		engine:         engine,
+		interval:       cfg.Interval,
+		rtt:            cfg.RTT,
+		swarms:         make(map[InfoHash]map[PeerID]*trackerEntry),
+		regAnnounces:   engine.Stats().Counter("bt.tracker.announces"),
+		regReannounces: engine.Stats().Counter("bt.tracker.reannounces"),
 	}
 }
 
@@ -105,6 +111,13 @@ func (t *Tracker) Interval() time.Duration { return t.interval }
 func (t *Tracker) Announce(req AnnounceRequest, cb func(AnnounceResponse)) {
 	t.engine.Schedule(t.rtt, func() {
 		t.Announces++
+		t.regAnnounces.Inc()
+		if req.Event == EventNone {
+			// Periodic refresh, not a lifecycle transition — the steady
+			// re-announce load whose cadence bounds how stale tracker
+			// knowledge of a moved peer can get.
+			t.regReannounces.Inc()
+		}
 		resp := t.handle(req)
 		if cb != nil {
 			t.engine.Schedule(t.rtt, func() { cb(resp) })

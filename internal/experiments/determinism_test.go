@@ -32,6 +32,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 			if !reflect.DeepEqual(seq.Notes, par.Notes) {
 				t.Errorf("notes diverged:\nseq: %v\npar: %v", seq.Notes, par.Notes)
 			}
+			// The stats snapshot must be bit-identical too: the collector
+			// merge is commutative, so worker completion order cannot show.
+			if !reflect.DeepEqual(seq.Stats, par.Stats) {
+				t.Errorf("stats snapshot diverged:\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
+			}
+			if seq.Stats == nil || seq.Stats.Runs == 0 {
+				t.Errorf("experiment %s collected no stats", id)
+			}
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Ed2kConfig parameterizes the §3.7 cross-protocol experiment.
@@ -62,8 +63,10 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		YLabel: "downloaded size (MB)",
 	}
 
+	col := stats.NewCollector()
 	run := func(retainHash bool, seed int64) (x, y []float64) {
 		w := NewWorld(seed, 0)
+		defer w.Finish(col)
 		file := &ed2k.File{ID: "fedora.iso", Size: cfg.FileSize, ChunkLen: 256 * 1024}
 		server := ed2k.NewServer(w.Engine, ed2k.ServerConfig{})
 
@@ -142,5 +145,6 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		res.Note("after %.0f min (mean of %d runs): retained %.1f MB vs default %.1f MB (%.2fx) — identity matters at least as much as in BitTorrent, as §3.7 argues",
 			x[n], cfg.Runs, keepY[n], defY[n], keepY[n]/defY[n])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }

@@ -12,23 +12,30 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Series is one plotted line: y-values over an x-axis.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
 }
 
 // Result is a reproduced figure.
 type Result struct {
-	ID     string // e.g. "fig8a"
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"` // e.g. "fig8a"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+
+	// Stats aggregates the cross-layer registry counts over every world the
+	// experiment ran (counters and histograms summed, gauges max); nil when
+	// the experiment collected none.
+	Stats *stats.Snapshot `json:"stats,omitempty"`
 }
 
 // AddSeries appends a line to the result.

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion identifies the JSON layout WriteJSON emits. Downstream
+// plotting scripts key on it; bump it only with a deliberate format change
+// (and regenerate the golden file in testdata/).
+const SchemaVersion = "wp2p.result.v1"
+
+// resultEnvelope wraps a Result with the schema tag for export. The schema
+// field must marshal first so a human (or a stream parser) sees the version
+// before anything else.
+type resultEnvelope struct {
+	Schema string `json:"schema"`
+	*Result
+}
+
+// WriteJSON writes the result as indented wp2p.result.v1 JSON. The encoding
+// is deterministic: field order is fixed by the struct, and every list
+// inside (series, notes, stats sections) is already in a stable order.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultEnvelope{Schema: SchemaVersion, Result: r})
+}
+
+// ExportJSON writes the result to <dir>/<id>.json, creating dir if needed.
+// It returns the written path.
+func (r *Result) ExportJSON(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.ID+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("writing %s: %w", path, err)
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult is a fixed Result exercising every part of the schema:
+// series, notes, and a stats snapshot with all three instrument kinds.
+func goldenResult() *Result {
+	e := sim.NewEngine()
+	reg := e.Stats()
+	reg.Counter("tcp.retransmits").Add(7)
+	reg.Gauge("sim.heap_max_depth").SetMax(42)
+	h := reg.Histogram("tcp.cwnd_bytes", []int64{1000, 2000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9000)
+	col := stats.NewCollector()
+	col.Add(reg)
+
+	r := &Result{
+		ID:     "golden",
+		Title:  "schema fixture",
+		XLabel: "x",
+		YLabel: "y",
+		Stats:  col.Snapshot(),
+	}
+	r.AddSeries("a", []float64{1, 2}, []float64{0.5, 1.5})
+	r.Note("note %d", 1)
+	return r
+}
+
+// TestResultSchemaGolden pins the wp2p.result.v1 JSON layout byte-for-byte.
+// If this fails after an intentional format change, bump SchemaVersion and
+// regenerate with `go test ./internal/experiments/ -run Golden -update`.
+func TestResultSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "result_schema_v1.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON drifted from %s:\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestExportJSONRoundTrip checks the exported file parses back with the
+// schema tag and the stats section intact.
+func TestExportJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path, err := goldenResult().ExportJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Schema string `json:"schema"`
+		Result
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", got.Schema, SchemaVersion)
+	}
+	if got.ID != "golden" || len(got.Series) != 1 {
+		t.Errorf("round trip lost fields: %+v", got.Result)
+	}
+	var retrans int64 = -1
+	if got.Stats != nil {
+		for _, c := range got.Stats.Counters {
+			if c.Name == "tcp.retransmits" {
+				retrans = c.Value
+			}
+		}
+	}
+	if retrans != 7 {
+		t.Errorf("stats section lost: %+v", got.Stats)
+	}
+	if len(got.Stats.Histograms) != 1 || got.Stats.Histograms[0].Count != 3 {
+		t.Errorf("histogram lost: %+v", got.Stats)
+	}
+}

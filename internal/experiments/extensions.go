@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
@@ -85,8 +86,10 @@ func AblationWP2P(cfg AblationConfig) *Result {
 		}},
 	}
 
+	col := stats.NewCollector()
 	runVariant := func(i int, v variant, seed int64) (dlMB, playable float64) {
 		w := NewWorld(seed, 90*time.Second)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("ablation", cfg.FileSize, 256*1024)
 		w.PopulateSwarm(tor, SwarmConfig{Seeds: 3, SeedCap: 50 * netem.KBps, Leeches: cfg.Leeches, Slots: 2})
 
@@ -134,6 +137,7 @@ func AblationWP2P(cfg AblationConfig) *Result {
 	}
 	res.AddSeries("MB downloaded", xs, mbs)
 	res.AddSeries("playable % of fetched", xs, plays)
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -203,8 +207,10 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 		YLabel: "foreground download KB/s / P2P upload KB/s",
 	}
 
+	col := stats.NewCollector()
 	run := func(seeding bool, lihd bool) (fgRate, upRate float64) {
 		w := NewWorld(cfg.Seed, time.Minute)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("shared.iso", scaled(256*1024*1024, cfg.Scale, 16*1024*1024), 256*1024)
 		// Hungry leeches make upload demand on the mobile seed unbounded.
 		w.PopulateSwarm(tor, SwarmConfig{Seeds: 1, SeedCap: 10 * netem.KBps, Leeches: 8, Slots: 3})
@@ -264,5 +270,6 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 	res.AddSeries("P2P upload KB/s", []float64{0, 1, 2}, []float64{kbps(up0), 0, kbps(up2)})
 	res.Note("uncapped seeding costs the foreground %.0f%% of its no-seeding rate; LIHD recovers it to %.0f%% while still uploading %.0f KB/s",
 		100*(1-fg0/fg1), 100*fg2/fg1, kbps(up2))
+	res.Stats = col.Snapshot()
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
 
@@ -56,8 +57,10 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 		XLabel: "BER",
 		YLabel: "download throughput (KB/s)",
 	}
+	col := stats.NewCollector()
 	measure := func(bidirectional bool, ber float64, run int) float64 {
 		w := NewWorld(cfg.Seed+int64(run)*100+1, 0)
+		defer w.Finish(col)
 		fixed := w.WiredHost(0, 0)
 		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, BER: ber})
 		var server *tcp.Conn
@@ -100,6 +103,7 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 	if n := len(cfg.BERs) - 1; n > 0 && biY[n] > 0 {
 		res.Note("at BER %.1e uni-TCP delivers %.1fx the bi-TCP throughput", cfg.BERs[n], uniY[n]/biY[n])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -152,8 +156,10 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 		XLabel: "time (s)",
 		YLabel: "packets in transit / drops per interval",
 	}
+	col := stats.NewCollector()
 	trace := func(bidirectional bool) (times, pkts, drops []float64, postDropAvg float64) {
 		w := NewWorld(cfg.Seed, 0)
+		defer w.Finish(col)
 		fixed := w.WiredHost(0, 0)
 		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, QueueCap: cfg.QueueCap})
 		dropsNow := 0
@@ -212,5 +218,6 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 	res.AddSeries("bi packets", tu, pb)
 	res.AddSeries("bi drops", tu, db)
 	res.Note("mean packets on leg after first drop: uni=%.1f bi=%.1f (bi stays loaded)", uniAvg, biAvg)
+	res.Stats = col.Snapshot()
 	return res
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Fig3Config parameterizes the upload-cap sweeps of Figures 3(a) and 3(b).
@@ -50,11 +51,11 @@ func (c Fig3Config) withDefaults() Fig3Config {
 
 // uploadCapAveraged averages uploadCapPoint over cfg.Runs seeds. Each run
 // owns a private World, so the runs fan across the runner pool.
-func uploadCapAveraged(cfg Fig3Config, wireless bool, capFrac float64) float64 {
+func uploadCapAveraged(cfg Fig3Config, wireless bool, capFrac float64, col *stats.Collector) float64 {
 	return runner.Average(cfg.Runs, func(r int) float64 {
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)*211
-		return uploadCapPoint(c, wireless, capFrac)
+		return uploadCapPoint(c, wireless, capFrac, col)
 	})
 }
 
@@ -70,8 +71,9 @@ const (
 
 // uploadCapPoint measures the mobile host's aggregate download rate across
 // Tasks swarms with its upload capped at capFrac of the physical upstream.
-func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64) float64 {
+func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64, col *stats.Collector) float64 {
 	w := NewWorld(cfg.Seed, time.Minute)
+	defer w.Finish(col)
 	var mob *Host
 	var physUp netem.Rate
 	if wireless {
@@ -157,11 +159,13 @@ func Fig3aUploadCapWired(cfg Fig3Config) *Result {
 	for i, f := range cfg.CapFractions {
 		x[i] = f * 100
 	}
+	col := stats.NewCollector()
 	y := runner.Sweep(cfg.CapFractions, func(_ int, f float64) float64 {
-		return kbps(uploadCapAveraged(cfg, false, f))
+		return kbps(uploadCapAveraged(cfg, false, f, col))
 	})
 	res.AddSeries("wired", x, y)
 	res.Note("expected shape: monotone-increasing (more upload buys more reciprocation)")
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -181,8 +185,9 @@ func Fig3bUploadCapWireless(cfg Fig3Config) *Result {
 	for i, f := range cfg.CapFractions {
 		x[i] = f * 100
 	}
+	col := stats.NewCollector()
 	y := runner.Sweep(cfg.CapFractions, func(_ int, f float64) float64 {
-		return kbps(uploadCapAveraged(cfg, true, f))
+		return kbps(uploadCapAveraged(cfg, true, f, col))
 	})
 	res.AddSeries("wireless", x, y)
 	peakAt, peak := 0.0, 0.0
@@ -192,6 +197,7 @@ func Fig3bUploadCapWireless(cfg Fig3Config) *Result {
 		}
 	}
 	res.Note("peak %.0f KB/s at %.0f%% cap; expected shape: rise, peak well below 80%%, then fall", peak, peakAt)
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -249,8 +255,10 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 		YLabel: "downloaded size (MB)",
 	}
 
+	col := stats.NewCollector()
 	runOnce := func(mobile, uploading bool, rngSeed int64) (x, y []float64) {
 		w := NewWorld(rngSeed, time.Minute)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("fig3c", cfg.FileSize, 256*1024)
 		seed := bt.NewClient(bt.Config{
 			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
@@ -341,5 +349,6 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 			y[last], y2[last], y3[last], y4[last])
 		res.Note("expected: uploading helps without mobility; with mobility the gap collapses")
 	}
+	res.Stats = col.Snapshot()
 	return res
 }

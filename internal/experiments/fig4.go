@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Fig4aConfig parameterizes the server-mobility experiment.
@@ -52,8 +53,10 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 		YLabel: "download throughput (KB/s)",
 	}
 
+	col := stats.NewCollector()
 	run := func(period time.Duration, mobileSeeds int) float64 {
 		w := NewWorld(cfg.Seed, 2*time.Minute)
+		defer w.Finish(col)
 		// Large enough that the fixed peer cannot finish inside the horizon;
 		// the sweep measures sustained throughput.
 		tor := bt.NewMetaInfo("fig4a", scaled(1024*1024*1024, cfg.Scale, 64*1024*1024), 256*1024)
@@ -97,6 +100,7 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 	res.AddSeries("one peer is mobile", x, one)
 	res.AddSeries("all peers are mobile", x, all)
 	res.Note("expected: throughput falls as the period shrinks; all-mobile falls hardest")
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -131,8 +135,9 @@ func (c FigPlayConfig) withDefaults() FigPlayConfig {
 
 // playabilityCurve downloads the file once with the given picker and
 // returns the playable fraction observed at each 10% download level.
-func playabilityCurve(seed int64, fileSize int64, picker bt.Picker) []float64 {
+func playabilityCurve(seed int64, fileSize int64, picker bt.Picker, col *stats.Collector) []float64 {
 	w := NewWorld(seed, time.Minute)
+	defer w.Finish(col)
 	tor := bt.NewMetaInfo("play", fileSize, 256*1024)
 	// Two seeds so rarest-first has realistic availability spread.
 	for i := 0; i < 2; i++ {
@@ -159,10 +164,10 @@ func playabilityCurve(seed int64, fileSize int64, picker bt.Picker) []float64 {
 	return out
 }
 
-func averagedCurves(cfg FigPlayConfig, fileSize int64, picker func() bt.Picker) []float64 {
+func averagedCurves(cfg FigPlayConfig, fileSize int64, picker func() bt.Picker, col *stats.Collector) []float64 {
 	// picker() is invoked inside each run so every world owns its picker.
 	return runner.AverageSeries(cfg.Runs, func(r int) []float64 {
-		return playabilityCurve(cfg.Seed+int64(r)*101, fileSize, picker())
+		return playabilityCurve(cfg.Seed+int64(r)*101, fileSize, picker(), col)
 	})
 }
 
@@ -180,11 +185,13 @@ func Fig4bcRarestPlayability(cfg FigPlayConfig) *Result {
 		XLabel: "downloaded (%)",
 		YLabel: "playable (%)",
 	}
+	col := stats.NewCollector()
 	for _, size := range cfg.FileSizes {
-		y := averagedCurves(cfg, size, func() bt.Picker { return bt.RarestFirst{} })
+		y := averagedCurves(cfg, size, func() bt.Picker { return bt.RarestFirst{} }, col)
 		res.AddSeries(sizeLabel(size), downloadedPctAxis, y)
 		res.Note("%s: playable at 60%% downloaded = %.1f%% (paper: <10%% for 5 MB)", sizeLabel(size), y[5])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }
 

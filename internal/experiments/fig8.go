@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -58,8 +59,10 @@ func Fig8aAgeBasedManipulation(cfg Fig8aConfig) *Result {
 		YLabel: "download throughput (KB/s)",
 	}
 
+	col := stats.NewCollector()
 	run := func(ber float64, r int) (defRate, wpRate float64) {
 		w := NewWorld(cfg.Seed+int64(r)*977, time.Minute)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("fig8a", cfg.FileSize, 256*1024)
 		n := tor.NumPieces()
 		halfA, halfB := bt.NewBitfield(n), bt.NewBitfield(n)
@@ -125,6 +128,7 @@ func Fig8aAgeBasedManipulation(cfg Fig8aConfig) *Result {
 		}
 	}
 	res.Note("mean throughput gain across BERs: %+.0f%% (paper: ≈ +20%%)", 100*gain/float64(len(defY)))
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -200,8 +204,10 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 		YLabel: "downloaded size (MB)",
 	}
 
+	col := stats.NewCollector()
 	run := func(seed int64) (x, defY, wpY []float64) {
 		w := NewWorld(seed, 90*time.Second)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("fedora-7-live", cfg.FileSize, 256*1024)
 		w.PopulateSwarm(tor, SwarmConfig{
 			Seeds: cfg.FixedSeeds, SeedCap: 50 * netem.KBps,
@@ -257,6 +263,7 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 		res.Note("after %.0f min (mean of %d runs): wP2P %.1f MB vs default %.1f MB (%+.1f MB; paper: ≈ +100 MB at 50 min on 688 MB)",
 			x[n], cfg.Runs, wpAvg[n], defAvg[n], wpAvg[n]-defAvg[n])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -306,8 +313,10 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 		YLabel: "download throughput (KB/s)",
 	}
 
+	col := stats.NewCollector()
 	run := func(bw netem.Rate, lihd bool, r int) float64 {
 		w := NewWorld(cfg.Seed+int64(r)*389, time.Minute)
+		defer w.Finish(col)
 		// Large file + diverse fixed swarm: the mobile's pieces are wanted
 		// (so its uploads really contend with its downloads on the shared
 		// channel) and nothing completes within the window.
@@ -369,5 +378,6 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 	if n := len(x) - 1; n >= 0 && defY[n] > 0 {
 		res.Note("at %.0f KB/s channel: wP2P/default = %.2fx (paper: up to 1.7x at 200 KBps)", x[n], wpY[n]/defY[n])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -24,14 +25,16 @@ func Fig9abMobilityAwareFetch(cfg FigPlayConfig) *Result {
 		XLabel: "downloaded (%)",
 		YLabel: "playable (%)",
 	}
+	col := stats.NewCollector()
 	for _, size := range cfg.FileSizes {
-		defY := averagedCurves(cfg, size, func() bt.Picker { return bt.RarestFirst{} })
-		mfY := averagedCurves(cfg, size, func() bt.Picker { return wp2p.NewMobilityFetch(nil) })
+		defY := averagedCurves(cfg, size, func() bt.Picker { return bt.RarestFirst{} }, col)
+		mfY := averagedCurves(cfg, size, func() bt.Picker { return wp2p.NewMobilityFetch(nil) }, col)
 		res.AddSeries("default "+sizeLabel(size), downloadedPctAxis, defY)
 		res.AddSeries("wP2P MF "+sizeLabel(size), downloadedPctAxis, mfY)
 		res.Note("%s at 50%% downloaded: MF %.1f%% vs rarest %.1f%% playable (paper 5 MB: ≈30%% vs ≈5%%)",
 			sizeLabel(size), mfY[4], defY[4])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }
 
@@ -87,8 +90,10 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 		YLabel: "upload throughput (KB/s)",
 	}
 
+	col := stats.NewCollector()
 	run := func(period time.Duration, useRR bool, seed int64) float64 {
 		w := NewWorld(seed, 2*time.Minute)
+		defer w.Finish(col)
 		tor := bt.NewMetaInfo("fig9c", cfg.FileSize, 256*1024)
 		// One stable but slow wired seed keeps the swarm alive; the leeches'
 		// own uplinks are scarce, so demand for the measured mobile seed's
@@ -145,5 +150,6 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 	if n := len(x) - 1; n >= 0 && defY[n] > 0 {
 		res.Note("at %.0f-min disruptions: wP2P/default = %.2fx (paper: up to 1.5x at 2 min)", x[n], wpY[n]/defY[n])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // GnutellaConfig parameterizes the second-generation-network experiment.
@@ -58,8 +59,10 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 		YLabel: "download throughput (KB/s)",
 	}
 
+	col := stats.NewCollector()
 	run := func(period time.Duration, seed int64) float64 {
 		w := NewWorld(seed, 0)
+		defer w.Finish(col)
 		mkNode := func(up netem.Rate, cfg2 gnutella.Config) (*gnutella.Node, *Host) {
 			var h *Host
 			if up == 0 {
@@ -128,5 +131,6 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 		res.Note("fastest churn delivers %.0f%% of the static rate — server mobility bites 2nd-gen networks too, with no identity to lose (§3.7)",
 			100*y[len(y)-1]/y[0])
 	}
+	res.Stats = col.Snapshot()
 	return res
 }

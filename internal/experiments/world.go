@@ -1,12 +1,17 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/trace"
 )
 
 // World bundles a simulation universe for one experiment run: engine,
@@ -16,19 +21,87 @@ type World struct {
 	Net     *netem.Network
 	Tracker *bt.Tracker
 
+	// Rec is the world's flight recorder, non-nil only while package-level
+	// tracing (EnableTracing) is on. Experiment code may add its own watch
+	// points to it.
+	Rec *trace.Recorder
+
+	seed   int64
 	nextIP netem.IP
+}
+
+// tracing is the package-level flight-recorder configuration the CLIs set
+// with EnableTracing. Worlds are built inside worker-pool closures, so the
+// config — and the shared dump sink — are guarded by a mutex.
+var tracing struct {
+	mu       sync.Mutex
+	enabled  bool
+	spec     string
+	capacity int
+	sink     io.Writer
+}
+
+// EnableTracing attaches a flight recorder to every subsequently created
+// World: each world records its watch points into a ring of the given
+// capacity (0 = recorder default), filtered by spec (trace.ParseFilter
+// syntax; empty keeps everything), and World.Finish dumps the retained tail
+// to sink. Dumps from concurrently finishing worlds are serialized.
+func EnableTracing(spec string, capacity int, sink io.Writer) {
+	tracing.mu.Lock()
+	defer tracing.mu.Unlock()
+	tracing.enabled = true
+	tracing.spec = spec
+	tracing.capacity = capacity
+	tracing.sink = sink
+}
+
+// DisableTracing stops attaching recorders to new worlds.
+func DisableTracing() {
+	tracing.mu.Lock()
+	defer tracing.mu.Unlock()
+	tracing.enabled = false
 }
 
 // NewWorld builds a world with the given seed and tracker announce
 // interval (zero selects the bt default).
 func NewWorld(seed int64, announce time.Duration) *World {
 	e := sim.NewEngine(sim.WithSeed(seed))
-	return &World{
+	w := &World{
 		Engine:  e,
 		Net:     netem.NewNetwork(e, netem.NetworkConfig{CloudDelay: 15 * time.Millisecond}),
 		Tracker: bt.NewTracker(e, bt.TrackerConfig{Interval: announce}),
+		seed:    seed,
 		nextIP:  netem.IP(10),
 	}
+	tracing.mu.Lock()
+	if tracing.enabled {
+		w.Rec = trace.NewRecorder(e, tracing.capacity)
+		w.Rec.SetFilter(trace.ParseFilter(tracing.spec))
+		trace.WatchNetwork(w.Rec, "net", w.Net)
+	}
+	tracing.mu.Unlock()
+	return w
+}
+
+// Finish closes out one world's run: its registry folds into the
+// experiment's collector (nil skips collection) and, when tracing is on,
+// the recorder's retained tail is dumped. Runners defer this right after
+// NewWorld so every world a figure builds is accounted for exactly once.
+func (w *World) Finish(col *stats.Collector) {
+	if col != nil {
+		col.Add(w.Engine.Stats())
+	}
+	if w.Rec == nil {
+		return
+	}
+	tracing.mu.Lock()
+	defer tracing.mu.Unlock()
+	if tracing.sink == nil {
+		return
+	}
+	fmt.Fprintf(tracing.sink, "== trace seed=%d total=%d retained=%d ==\n",
+		w.seed, w.Rec.Total(), len(w.Rec.Events()))
+	w.Rec.Dump(tracing.sink)
 }
 
 // NextIP hands out a fresh host address.
@@ -58,7 +131,12 @@ func (w *World) WiredHost(up, down netem.Rate) *Host {
 	link := netem.NewAccessLink(w.Engine, netem.AccessLinkConfig{
 		UpRate: up, DownRate: down, Delay: time.Millisecond,
 	})
-	iface := w.Net.Attach(w.NextIP(), link, nil)
+	ip := w.NextIP()
+	iface := w.Net.Attach(ip, link, nil)
+	if w.Rec != nil {
+		trace.WatchLink(w.Rec, fmt.Sprintf("wired.%d", ip), link)
+		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
+	}
 	return &Host{
 		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
 		Iface: iface,
@@ -87,7 +165,12 @@ func (w *World) WirelessHost(cfg netem.WirelessConfig) *Host {
 		cfg.Overhead = DefaultWirelessOverhead
 	}
 	ch := netem.NewWirelessChannel(w.Engine, cfg)
-	iface := w.Net.Attach(w.NextIP(), ch, nil)
+	ip := w.NextIP()
+	iface := w.Net.Attach(ip, ch, nil)
+	if w.Rec != nil {
+		trace.WatchWireless(w.Rec, fmt.Sprintf("wlan.%d", ip), ch)
+		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
+	}
 	return &Host{
 		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
 		Iface: iface,

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"time"
 )
 
@@ -108,16 +109,16 @@ func (ts *TimeSeries) Values() []float64 {
 }
 
 // At returns the value at or immediately before t, or 0 if t precedes the
-// first observation.
+// first observation. Points are appended in time order, so this binary
+// searches rather than scanning — figure post-processing calls At once per
+// sample point, which was quadratic on long runs.
 func (ts *TimeSeries) At(t time.Duration) float64 {
-	v := 0.0
-	for _, p := range ts.Points {
-		if p.At > t {
-			break
-		}
-		v = p.Value
+	// Find the first point strictly after t; the answer precedes it.
+	i := sort.Search(len(ts.Points), func(i int) bool { return ts.Points[i].At > t })
+	if i == 0 {
+		return 0
 	}
-	return v
+	return ts.Points[i-1].Value
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.

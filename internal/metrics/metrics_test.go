@@ -72,6 +72,30 @@ func TestTimeSeries(t *testing.T) {
 	}
 }
 
+// TestTimeSeriesAtBoundaries pins the step-function semantics of At across
+// every position relative to the recorded points.
+func TestTimeSeriesAtBoundaries(t *testing.T) {
+	var ts TimeSeries
+	ts.Record(1*time.Second, 10)
+	ts.Record(2*time.Second, 20)
+	ts.Record(4*time.Second, 40)
+	cases := []struct {
+		name string
+		t    time.Duration
+		want float64
+	}{
+		{"before-first", 500 * time.Millisecond, 0},
+		{"exact-hit", 2 * time.Second, 20},
+		{"between-points", 3 * time.Second, 20},
+		{"after-last", 10 * time.Second, 40},
+	}
+	for _, tc := range cases {
+		if got := ts.At(tc.t); got != tc.want {
+			t.Errorf("%s: At(%v) = %v, want %v", tc.name, tc.t, got, tc.want)
+		}
+	}
+}
+
 func TestSummaryStats(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if got := Mean(xs); got != 5 {

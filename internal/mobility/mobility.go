@@ -10,6 +10,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // IPAllocator hands out fresh addresses for handoffs. The zero value is not
@@ -46,7 +47,8 @@ type Handoff struct {
 	// reversal, …) here.
 	OnChange func(old, new netem.IP)
 
-	changes int
+	changes     int
+	regHandoffs *stats.Counter
 }
 
 // NewHandoff prepares a periodic handoff; call Start to begin.
@@ -54,7 +56,10 @@ func NewHandoff(engine *sim.Engine, net *netem.Network, iface *netem.Iface, allo
 	if period <= 0 {
 		panic("mobility: handoff period must be positive")
 	}
-	return &Handoff{engine: engine, net: net, iface: iface, alloc: alloc, period: period}
+	return &Handoff{
+		engine: engine, net: net, iface: iface, alloc: alloc, period: period,
+		regHandoffs: engine.Stats().Counter("mobility.handoffs"),
+	}
 }
 
 // Start begins the handoff schedule; the first change is one period away.
@@ -84,6 +89,7 @@ func (h *Handoff) fire() {
 	next := h.alloc.Next()
 	h.net.Rebind(h.iface, next)
 	h.changes++
+	h.regHandoffs.Inc()
 	if h.OnChange != nil {
 		h.OnChange(old, next)
 	}

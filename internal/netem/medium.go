@@ -39,7 +39,7 @@ func NewAccessLink(engine *sim.Engine, cfg AccessLinkConfig) *AccessLink {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
-	return &AccessLink{
+	l := &AccessLink{
 		up: transmitter{
 			engine: engine, rate: cfg.UpRate, delay: cfg.Delay, queueCap: cfg.QueueCap,
 		},
@@ -47,6 +47,9 @@ func NewAccessLink(engine *sim.Engine, cfg AccessLinkConfig) *AccessLink {
 			engine: engine, rate: cfg.DownRate, delay: cfg.Delay, queueCap: cfg.QueueCap,
 		},
 	}
+	l.up.bindStats("netem.wired")
+	l.down.bindStats("netem.wired")
+	return l
 }
 
 // SendUp transmits toward the cloud at the upstream rate.
@@ -60,10 +63,18 @@ func (l *AccessLink) SendDown(pkt *Packet, deliver func(*Packet)) {
 }
 
 // OnDrop registers an observer for packets discarded in either direction.
-// Pass nil to remove it.
+// Observers chain: each call appends, and every registered observer sees
+// every drop in registration order, so tracing and per-experiment probes
+// compose instead of silently replacing each other. Pass nil to remove all
+// observers.
 func (l *AccessLink) OnDrop(fn func(pkt *Packet, reason DropReason)) {
-	l.up.onDrop = fn
-	l.down.onDrop = fn
+	if fn == nil {
+		l.up.dropObs = nil
+		l.down.dropObs = nil
+		return
+	}
+	l.up.dropObs = append(l.up.dropObs, fn)
+	l.down.dropObs = append(l.down.dropObs, fn)
 }
 
 // InFlight reports packets queued or being serialized in both directions.
@@ -113,6 +124,7 @@ func NewWirelessChannel(engine *sim.Engine, cfg WirelessConfig) *WirelessChannel
 		queueCap: cfg.QueueCap,
 	}
 	c.x.lossProb = func(size int) float64 { return PacketErrorRate(c.ber, size) }
+	c.x.bindStats("netem.wireless")
 	return c
 }
 
@@ -143,7 +155,13 @@ func (c *WirelessChannel) InFlight() int { return c.x.inFlight() }
 func (c *WirelessChannel) Stats() Stats { return c.x.stats }
 
 // OnDrop registers an observer for discarded packets (buffer drops and
-// corruption). Pass nil to remove it.
+// corruption). Observers chain: each call appends, and every registered
+// observer sees every drop in registration order. Pass nil to remove all
+// observers.
 func (c *WirelessChannel) OnDrop(fn func(pkt *Packet, reason DropReason)) {
-	c.x.onDrop = fn
+	if fn == nil {
+		c.x.dropObs = nil
+		return
+	}
+	c.x.dropObs = append(c.x.dropObs, fn)
 }

@@ -110,6 +110,7 @@ func TestPropertyPERMonotone(t *testing.T) {
 func TestTransmitterSerialization(t *testing.T) {
 	e := sim.NewEngine()
 	x := &transmitter{engine: e, rate: 1000, delay: 10 * time.Millisecond, queueCap: 10}
+	x.bindStats("netem.test")
 	var deliveries []time.Duration
 	deliver := func(*Packet) { deliveries = append(deliveries, e.Now()) }
 	// Two 500-byte packets: first delivered at 500ms + 10ms, second must wait
@@ -129,8 +130,9 @@ func TestTransmitterSerialization(t *testing.T) {
 func TestTransmitterDropTail(t *testing.T) {
 	e := sim.NewEngine()
 	x := &transmitter{engine: e, rate: 1000, queueCap: 2}
+	x.bindStats("netem.test")
 	var dropped []DropReason
-	x.onDrop = func(_ *Packet, r DropReason) { dropped = append(dropped, r) }
+	x.dropObs = append(x.dropObs, func(_ *Packet, r DropReason) { dropped = append(dropped, r) })
 	delivered := 0
 	deliver := func(*Packet) { delivered++ }
 	// One in service + 2 queued fit; the 4th overflows.
@@ -439,5 +441,72 @@ func TestPacketClone(t *testing.T) {
 	c.Size = 1
 	if p.Size != 99 {
 		t.Error("mutating clone affected original")
+	}
+}
+
+// TestOnDropObserversChain pins the observer-composition contract: a second
+// OnDrop registration must not evict the first (tracing and stats probes
+// both need to see drops), and OnDrop(nil) clears the chain.
+func TestOnDropObserversChain(t *testing.T) {
+	e := sim.NewEngine()
+	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000, QueueCap: 1})
+	var first, second int
+	ch.OnDrop(func(*Packet, DropReason) { first++ })
+	ch.OnDrop(func(*Packet, DropReason) { second++ })
+	// Queue cap 1: one in service + one queued fit, the third overflows.
+	for i := 0; i < 3; i++ {
+		ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+	}
+	e.Run()
+	if first != 1 || second != 1 {
+		t.Errorf("observers saw %d/%d drops, want 1/1", first, second)
+	}
+	ch.OnDrop(nil)
+	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+	e.Run()
+	if first != 1 || second != 1 {
+		t.Errorf("OnDrop(nil) did not clear observers: %d/%d", first, second)
+	}
+
+	// Same contract on the network's no-route observer.
+	n := NewNetwork(e, NetworkConfig{})
+	link := NewAccessLink(e, AccessLinkConfig{UpRate: 1 * MBps, DownRate: 1 * MBps})
+	ifc := n.Attach(1, link, nil)
+	var netFirst, netSecond int
+	n.OnDrop(func(*Packet, DropReason) { netFirst++ })
+	n.OnDrop(func(*Packet, DropReason) { netSecond++ })
+	ifc.Send(&Packet{Src: Addr{IP: 1}, Dst: Addr{IP: 99}, Size: 100})
+	e.Run()
+	if netFirst != 1 || netSecond != 1 {
+		t.Errorf("network observers saw %d/%d drops, want 1/1", netFirst, netSecond)
+	}
+}
+
+// TestNetemRegistryCounters checks the medium instruments feed the engine's
+// registry: transmissions, drops by reason, and airtime.
+func TestNetemRegistryCounters(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e, NetworkConfig{})
+	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000, QueueCap: 1, Overhead: time.Millisecond})
+	ifc := n.Attach(1, ch, nil)
+	for i := 0; i < 3; i++ {
+		ifc.Send(&Packet{Src: Addr{IP: 1}, Dst: Addr{IP: 99}, Size: 100})
+	}
+	e.Run()
+	reg := e.Stats()
+	if got := reg.Counter("netem.wireless.tx_packets").Value(); got != 2 {
+		t.Errorf("tx_packets = %d, want 2", got)
+	}
+	if got := reg.Counter("netem.wireless.drops.queue_overflow").Value(); got != 1 {
+		t.Errorf("queue_overflow = %d, want 1", got)
+	}
+	if got := reg.Counter("netem.drops.no_route").Value(); got != 2 {
+		t.Errorf("no_route = %d, want 2", got)
+	}
+	// Two packets served: each 1ms overhead + 100ms serialization at 1000 B/s.
+	if got := reg.Counter("netem.wireless.airtime_ns").Value(); got != int64(2*(time.Millisecond+100*time.Millisecond)) {
+		t.Errorf("airtime_ns = %d", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Network routes packets between host interfaces through a cloud with
@@ -17,7 +18,11 @@ type Network struct {
 	cloudDelay time.Duration
 	jitter     time.Duration
 	pairDelay  map[ipPair]time.Duration
-	onDrop     func(pkt *Packet, reason DropReason)
+	// dropObs observe every blackholed packet, in registration order.
+	dropObs []func(pkt *Packet, reason DropReason)
+
+	regRouted  *stats.Counter
+	regNoRoute *stats.Counter
 }
 
 // ipPair is an unordered address pair.
@@ -55,6 +60,8 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		cloudDelay: cfg.CloudDelay,
 		jitter:     cfg.Jitter,
 		pairDelay:  make(map[ipPair]time.Duration),
+		regRouted:  engine.Stats().Counter("netem.packets_routed"),
+		regNoRoute: engine.Stats().Counter("netem.drops.no_route"),
 	}
 }
 
@@ -151,8 +158,23 @@ func (n *Network) Rebind(ifc *Iface, newIP IP) {
 }
 
 // OnDrop registers a network-wide observer for blackholed (no-route)
-// packets.
-func (n *Network) OnDrop(fn func(pkt *Packet, reason DropReason)) { n.onDrop = fn }
+// packets. Observers chain: each call appends, and every registered observer
+// sees every drop in registration order. Pass nil to remove all observers.
+func (n *Network) OnDrop(fn func(pkt *Packet, reason DropReason)) {
+	if fn == nil {
+		n.dropObs = nil
+		return
+	}
+	n.dropObs = append(n.dropObs, fn)
+}
+
+// drop reports a blackholed packet to all observers.
+func (n *Network) drop(pkt *Packet, reason DropReason) {
+	n.regNoRoute.Inc()
+	for _, fn := range n.dropObs {
+		fn(pkt, reason)
+	}
+}
 
 // IP returns the interface's current address.
 func (ifc *Iface) IP() IP { return ifc.ip }
@@ -190,11 +212,10 @@ func (n *Network) routeFromCloud(pkt *Packet) {
 	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), func() {
 		dst, ok := n.ifaces[pkt.Dst.IP]
 		if !ok {
-			if n.onDrop != nil {
-				n.onDrop(pkt, DropNoRoute)
-			}
+			n.drop(pkt, DropNoRoute)
 			return
 		}
+		n.regRouted.Inc()
 		dst.medium.SendDown(pkt, dst.receive)
 	})
 }
@@ -205,9 +226,7 @@ func (ifc *Iface) receive(pkt *Packet) {
 	// flight on the access medium; a handed-off station no longer accepts
 	// traffic for its old address.
 	if pkt.Dst.IP != ifc.ip {
-		if ifc.net.onDrop != nil {
-			ifc.net.onDrop(pkt, DropNoRoute)
-		}
+		ifc.net.drop(pkt, DropNoRoute)
 		return
 	}
 	for _, in := range applyFilters(ifc.ingress, pkt) {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // queued pairs a packet with its delivery continuation.
@@ -27,12 +28,33 @@ type transmitter struct {
 	// corrupted in flight; nil means lossless.
 	lossProb func(size int) float64
 
-	// onDrop, if set, observes every discarded packet.
-	onDrop func(pkt *Packet, reason DropReason)
+	// dropObs observe every discarded packet, in registration order.
+	dropObs []func(pkt *Packet, reason DropReason)
 
 	queue []queued
 	busy  bool
 	stats Stats
+
+	// Registry instruments, pre-bound by bindStats; media sharing an engine
+	// and prefix share these counters, so they read as per-class totals.
+	regTxPackets *stats.Counter
+	regTxBytes   *stats.Counter
+	regOverflow  *stats.Counter
+	regCorrupted *stats.Counter
+	regAirtime   *stats.Counter
+	regQueuePeak *stats.Gauge
+}
+
+// bindStats attaches the transmitter to the engine's registry under the
+// given medium-class prefix ("netem.wired", "netem.wireless").
+func (x *transmitter) bindStats(prefix string) {
+	reg := x.engine.Stats()
+	x.regTxPackets = reg.Counter(prefix + ".tx_packets")
+	x.regTxBytes = reg.Counter(prefix + ".tx_bytes")
+	x.regOverflow = reg.Counter(prefix + ".drops.queue_overflow")
+	x.regCorrupted = reg.Counter(prefix + ".drops.corrupted")
+	x.regAirtime = reg.Counter(prefix + ".airtime_ns")
+	x.regQueuePeak = reg.Gauge(prefix + ".queue_peak")
 }
 
 // enqueue admits a packet for transmission, dropping it if the buffer is
@@ -40,10 +62,12 @@ type transmitter struct {
 func (x *transmitter) enqueue(pkt *Packet, deliver func(*Packet)) {
 	if x.queueCap > 0 && len(x.queue) >= x.queueCap {
 		x.stats.Drops++
+		x.regOverflow.Inc()
 		x.drop(pkt, DropQueueOverflow)
 		return
 	}
 	x.queue = append(x.queue, queued{pkt: pkt, deliver: deliver})
+	x.regQueuePeak.SetMax(int64(len(x.queue)))
 	if !x.busy {
 		x.startNext()
 	}
@@ -60,13 +84,18 @@ func (x *transmitter) startNext() {
 	x.queue = x.queue[:len(x.queue)-1]
 	x.busy = true
 
-	x.engine.Schedule(x.overhead+x.rate.txTime(item.pkt.Size), func() {
+	airtime := x.overhead + x.rate.txTime(item.pkt.Size)
+	x.engine.Schedule(airtime, func() {
 		x.stats.TxPackets++
 		x.stats.TxBytes += int64(item.pkt.Size)
+		x.regTxPackets.Inc()
+		x.regTxBytes.Add(int64(item.pkt.Size))
+		x.regAirtime.Add(int64(airtime))
 		corrupted := x.lossProb != nil &&
 			x.engine.Rand().Float64() < x.lossProb(item.pkt.Size)
 		if corrupted {
 			x.stats.Corrupted++
+			x.regCorrupted.Inc()
 			x.drop(item.pkt, DropCorrupted)
 		} else {
 			x.engine.Schedule(x.delay, func() { item.deliver(item.pkt) })
@@ -76,8 +105,8 @@ func (x *transmitter) startNext() {
 }
 
 func (x *transmitter) drop(pkt *Packet, reason DropReason) {
-	if x.onDrop != nil {
-		x.onDrop(pkt, reason)
+	for _, fn := range x.dropObs {
+		fn(pkt, reason)
 	}
 }
 

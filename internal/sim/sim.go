@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Engine is a discrete-event scheduler with a virtual clock.
@@ -31,6 +33,16 @@ type Engine struct {
 	rng     *rand.Rand
 	running bool
 	stopped bool
+
+	// reg is the engine's metrics registry; every layer built on this
+	// engine registers its instruments here. The engine's own counters are
+	// pre-bound below so the Schedule/Step hot path stays allocation-free.
+	reg            *stats.Registry
+	statsScheduled *stats.Counter
+	statsFired     *stats.Counter
+	statsCancelled *stats.Counter
+	statsFreeHits  *stats.Counter
+	statsHeapDepth *stats.Gauge
 }
 
 // Option configures an Engine.
@@ -47,12 +59,22 @@ func WithSeed(seed int64) Option {
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		rng: rand.New(rand.NewSource(1)),
+		reg: stats.NewRegistry(),
 	}
+	e.statsScheduled = e.reg.Counter("sim.events_scheduled")
+	e.statsFired = e.reg.Counter("sim.events_fired")
+	e.statsCancelled = e.reg.Counter("sim.events_cancelled")
+	e.statsFreeHits = e.reg.Counter("sim.freelist_hits")
+	e.statsHeapDepth = e.reg.Gauge("sim.heap_max_depth")
 	for _, opt := range opts {
 		opt(e)
 	}
 	return e
 }
+
+// Stats returns the engine's metrics registry. Components built on the
+// engine register their instruments here at construction time.
+func (e *Engine) Stats() *stats.Registry { return e.reg }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -100,6 +122,7 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 		ev.expired = false
+		e.statsFreeHits.Inc()
 	} else {
 		ev = &Event{}
 	}
@@ -108,6 +131,8 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 	ev.fn = fn
 	e.seq++
 	e.push(ev)
+	e.statsScheduled.Inc()
+	e.statsHeapDepth.SetMax(int64(len(e.queue)))
 	return ev
 }
 
@@ -125,6 +150,7 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	e.remove(ev.index)
 	ev.expired = true
+	e.statsCancelled.Inc()
 	e.release(ev)
 }
 
@@ -138,6 +164,7 @@ func (e *Engine) Step() bool {
 	ev.expired = true
 	e.now = ev.at
 	fn := ev.fn
+	e.statsFired.Inc()
 	fn()
 	e.release(ev)
 	return true

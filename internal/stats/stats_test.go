@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tcp.retransmits")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("tcp.retransmits") != c {
+		t.Fatal("Counter lookup did not return the same instrument")
+	}
+
+	g := r.Gauge("sim.heap_max_depth")
+	g.SetMax(7)
+	g.SetMax(3) // below high-water mark, ignored
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge after Set = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tcp.cwnd_bytes", []int64{10, 20, 30})
+	for _, v := range []int64{5, 10, 11, 25, 30, 31, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 2, 2} // ≤10: {5,10}; ≤20: {11}; ≤30: {25,30}; >30: {31,100}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if !reflect.DeepEqual(hv.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", hv.Counts, want)
+	}
+	if hv.Count != 7 || hv.Sum != 212 {
+		t.Fatalf("count/sum = %d/%d, want 7/212", hv.Count, hv.Sum)
+	}
+	// Same name + same bounds is a cache hit, not a panic.
+	if r.Histogram("tcp.cwnd_bytes", []int64{10, 20, 30}) != h {
+		t.Fatal("Histogram lookup did not return the same instrument")
+	}
+}
+
+func TestHistogramBoundMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", []int64{1, 2, 3})
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wp2p.am.decoupled").Inc()
+	r.Counter("bt.pieces_completed").Add(3)
+	r.Counter("sim.events_fired").Add(10)
+	r.Gauge("sim.heap_max_depth").SetMax(4)
+	s := r.Snapshot()
+	names := make([]string, len(s.Counters))
+	for i, cv := range s.Counters {
+		names[i] = cv.Name
+	}
+	want := []string{"bt.pieces_completed", "sim.events_fired", "wp2p.am.decoupled"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("counter order = %v, want %v", names, want)
+	}
+	if s.Runs != 1 {
+		t.Fatalf("runs = %d, want 1", s.Runs)
+	}
+	// A snapshot is a copy: later increments must not leak in.
+	r.Counter("sim.events_fired").Inc()
+	if s.Counters[1].Value != 10 {
+		t.Fatal("snapshot aliases live registry state")
+	}
+}
+
+// TestCollectorMergeCommutes is the determinism contract: folding the same
+// registries in any order yields the same snapshot, so parallel completion
+// order cannot change aggregate stats.
+func TestCollectorMergeCommutes(t *testing.T) {
+	mk := func(a, b int64, gauge int64, obs []int64) *Registry {
+		r := NewRegistry()
+		r.Counter("x").Add(a)
+		r.Counter("y").Add(b)
+		r.Gauge("g").SetMax(gauge)
+		h := r.Histogram("h", []int64{10, 100})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r
+	}
+	regs := []*Registry{
+		mk(1, 2, 5, []int64{3, 50}),
+		mk(10, 0, 9, []int64{200}),
+		mk(0, 7, 2, nil),
+	}
+
+	fwd := NewCollector()
+	for _, r := range regs {
+		fwd.Add(r)
+	}
+	rev := NewCollector()
+	for i := len(regs) - 1; i >= 0; i-- {
+		rev.Add(regs[i])
+	}
+	a, b := fwd.Snapshot(), rev.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merge order changed the snapshot:\nfwd: %+v\nrev: %+v", a, b)
+	}
+	if a.Runs != 3 {
+		t.Fatalf("runs = %d, want 3", a.Runs)
+	}
+	if a.Counters[0].Name != "x" || a.Counters[0].Value != 11 {
+		t.Fatalf("counter x = %+v, want 11", a.Counters[0])
+	}
+	if a.Gauges[0].Value != 9 {
+		t.Fatalf("gauge g = %d, want max 9", a.Gauges[0].Value)
+	}
+	if a.Histograms[0].Count != 3 || !reflect.DeepEqual(a.Histograms[0].Counts, []int64{1, 1, 1}) {
+		t.Fatalf("histogram merge wrong: %+v", a.Histograms[0])
+	}
+}
+
+func TestEmptyCollectorSnapshotNil(t *testing.T) {
+	if s := NewCollector().Snapshot(); s != nil {
+		t.Fatalf("empty collector snapshot = %+v, want nil", s)
+	}
+	// Nil snapshots still render a placeholder rather than crashing.
+	var s *Snapshot
+	if got := s.Table(); !strings.Contains(got, "no stats") {
+		t.Fatalf("nil table = %q", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.one").Inc()
+	r.Gauge("a.two").Set(3)
+	r.Histogram("a.three", []int64{1}).Observe(2)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, r.Snapshot()) {
+		t.Fatalf("round trip diverged: %s", raw)
+	}
+}
+
+func TestTableGroupsByLayer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.events_fired").Add(42)
+	r.Counter("tcp.retransmits").Add(3)
+	r.Gauge("sim.heap_max_depth").SetMax(8)
+	r.Histogram("tcp.cwnd_bytes", []int64{1000}).Observe(500)
+	out := r.Snapshot().Table()
+	for _, want := range []string{
+		"sim.events_fired", "42",
+		"sim.heap_max_depth (max)", "8",
+		"tcp.retransmits", "3",
+		"tcp.cwnd_bytes: count=1 mean=500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// sim.* and tcp.* sections are separated by a blank line.
+	if !strings.Contains(out, "\n\n") {
+		t.Errorf("table has no layer separation:\n%s", out)
+	}
+}

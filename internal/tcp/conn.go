@@ -230,11 +230,14 @@ func (c *Conn) sendSegment(seg *Segment) {
 		c.delAckTimer.Stop()
 	}
 	c.stats.SegsSent++
+	c.stack.reg.segsSent.Inc()
 	if seg.HasAck {
 		if seg.Len > 0 {
 			c.stats.PiggybackedAcks++
+			c.stack.reg.acksPiggybacked.Inc()
 		} else if !seg.SYN && !seg.RST {
 			c.stats.PureAcksSent++
+			c.stack.reg.acksPure.Inc()
 		}
 	}
 	c.stack.sendRaw(c.local, c.remote, seg)
@@ -257,6 +260,7 @@ func (c *Conn) sendSynAck() {
 func (c *Conn) sendPureAck(dup bool) {
 	if dup {
 		c.stats.DupAcksSent++
+		c.stack.reg.dupAcksSent.Inc()
 	}
 	c.sendSegment(&Segment{Seq: c.sndNxt, Ack: c.rcvNxt, HasAck: true})
 }
@@ -288,6 +292,7 @@ func (c *Conn) trySend() int {
 			c.maxSent = c.sndNxt
 		} else {
 			c.stats.Retransmits++
+			c.stack.reg.retransmits.Inc()
 		}
 		c.sendSegment(seg)
 		sent++
@@ -326,8 +331,10 @@ func (c *Conn) maybeSendFIN() {
 // retransmit resends the segment starting at seq.
 func (c *Conn) retransmit(seq int64, fast bool) {
 	c.stats.Retransmits++
+	c.stack.reg.retransmits.Inc()
 	if fast {
 		c.stats.FastRetransmits++
+		c.stack.reg.fastRetransmits.Inc()
 	}
 	if c.finSent && seq == c.finSeq {
 		c.sendSegment(&Segment{Seq: seq, FIN: true, Ack: c.rcvNxt, HasAck: true})
@@ -386,6 +393,7 @@ func (c *Conn) onRTO() {
 	}
 	c.retries++
 	c.stats.Timeouts++
+	c.stack.reg.rtos.Inc()
 	c.rto *= 2
 	if c.rto > c.stack.cfg.MaxRTO {
 		c.rto = c.stack.cfg.MaxRTO
@@ -423,6 +431,7 @@ func (c *Conn) handleSegment(seg *Segment) {
 		return
 	}
 	c.stats.SegsRcvd++
+	c.stack.reg.segsRcvd.Inc()
 	if seg.RST {
 		c.teardown(ErrReset)
 		return
@@ -493,11 +502,13 @@ func (c *Conn) processAck(seg *Segment) {
 		// A duplicate ACK. Only pure ACKs count: a data segment repeating
 		// the ack number is ambiguous (the spec point the paper builds on).
 		c.stats.DupAcksRcvd++
+		c.stack.reg.dupAcksRcvd.Inc()
 		c.onDupAck()
 	}
 }
 
 func (c *Conn) onNewAck(ack int64, seg *Segment) {
+	c.stack.reg.cwnd.Observe(int64(c.cwnd))
 	acked := ack - c.sndUna
 	c.sndUna = ack
 	if ack > c.sndNxt {

@@ -17,6 +17,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // Wire constants.
@@ -153,6 +154,40 @@ type Stack struct {
 	conns     map[fourTuple]*Conn
 	listeners map[uint16]*Listener
 	nextPort  uint16
+	reg       stackStats
+}
+
+// stackStats holds the registry instruments shared by all of a stack's
+// connections, pre-bound once in NewStack so the per-segment paths stay
+// allocation-free.
+type stackStats struct {
+	segsSent        *stats.Counter
+	segsRcvd        *stats.Counter
+	retransmits     *stats.Counter
+	fastRetransmits *stats.Counter
+	rtos            *stats.Counter
+	dupAcksSent     *stats.Counter
+	dupAcksRcvd     *stats.Counter
+	acksPure        *stats.Counter
+	acksPiggybacked *stats.Counter
+	cwnd            *stats.Histogram
+}
+
+// cwndBuckets are the tcp.cwnd_bytes histogram bounds, in MSS multiples:
+// ≤1, ≤2, ≤4, ≤8, ≤16, ≤32, ≤64 MSS, and an overflow bucket above.
+var cwndBuckets = []int64{1 * MSS, 2 * MSS, 4 * MSS, 8 * MSS, 16 * MSS, 32 * MSS, 64 * MSS}
+
+func (ss *stackStats) bind(reg *stats.Registry) {
+	ss.segsSent = reg.Counter("tcp.segs_sent")
+	ss.segsRcvd = reg.Counter("tcp.segs_rcvd")
+	ss.retransmits = reg.Counter("tcp.retransmits")
+	ss.fastRetransmits = reg.Counter("tcp.fast_retransmits")
+	ss.rtos = reg.Counter("tcp.rtos")
+	ss.dupAcksSent = reg.Counter("tcp.dupacks_sent")
+	ss.dupAcksRcvd = reg.Counter("tcp.dupacks_rcvd")
+	ss.acksPure = reg.Counter("tcp.acks.pure")
+	ss.acksPiggybacked = reg.Counter("tcp.acks.piggybacked")
+	ss.cwnd = reg.Histogram("tcp.cwnd_bytes", cwndBuckets)
 }
 
 // NewStack builds a TCP layer on the interface and installs itself as the
@@ -166,6 +201,7 @@ func NewStack(engine *sim.Engine, iface *netem.Iface, cfg Config) *Stack {
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
 	}
+	s.reg.bind(engine.Stats())
 	iface.SetHandler(s)
 	return s
 }

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// BenchmarkRecorderEmit measures steady-state emission on a wrapped ring —
+// the regime a long run lives in. Lazy formatting means the cost is a few
+// field stores plus the variadic-args copy, not an fmt.Sprintf per event.
+func BenchmarkRecorderEmit(b *testing.B) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 256)
+	info := PacketInfo{Size: 1460, Payload: "seg"}
+	for i := 0; i < 512; i++ { // pre-wrap so slots have warm args buffers
+		r.Emit("bench", "pkt", "%v", info)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("bench", "pkt", "%v", info)
+	}
+}
+
+// BenchmarkRecorderEmitNoArgs is the fast path: a constant detail string
+// stores the format directly with no copy at all.
+func BenchmarkRecorderEmitNoArgs(b *testing.B) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("bench", "note", "tick")
+	}
+}
+
+// BenchmarkRecorderEmitFiltered measures the rejected path.
+func BenchmarkRecorderEmitFiltered(b *testing.B) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 256)
+	r.SetFilter(func(source, kind string) bool { return false })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("bench", "note", "tick")
+	}
+}

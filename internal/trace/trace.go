@@ -3,6 +3,18 @@
 // dropped, what a component decided. Recording costs nothing when no
 // recorder is attached, and the ring keeps memory constant on long runs.
 //
+// Emission is lazy: Emit stores the format string and its arguments, and the
+// fmt.Sprintf happens only when an event is actually read (Events, Dump).
+// On a long run that wraps the ring millions of times, evicted events never
+// pay for formatting. The flip side of the contract: arguments passed to
+// Emit must not be mutated afterwards. Watch helpers comply by passing
+// value-copied packet descriptions (see PacketInfo).
+//
+// Watch points also feed the engine's stats registry ("trace.watch.<name>…"
+// counters), so a filtered recording still leaves a cheap quantitative
+// footprint, and a SetFilter predicate (see ParseFilter for the CLI's
+// "source=kind" syntax) restricts which events are retained at all.
+//
 // Typical use while debugging a scenario:
 //
 //	rec := trace.NewRecorder(engine, 4096)
@@ -15,13 +27,15 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
-// Event is one recorded observation.
+// Event is one recorded observation, materialized by Events or Dump.
 type Event struct {
 	At     time.Duration
 	Source string // the watch point, e.g. "mobile/egress"
@@ -34,14 +48,36 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12v %-20s %-6s %s", e.At, e.Source, e.Kind, e.Detail)
 }
 
+// record is the unformatted ring slot. The args slice is owned by the slot
+// and reused across evictions, so steady-state emission does not grow the
+// heap.
+type record struct {
+	at     time.Duration
+	source string
+	kind   string
+	format string
+	args   []any
+}
+
+// detail materializes the formatted text.
+func (rec *record) detail() string {
+	if len(rec.args) == 0 {
+		return rec.format
+	}
+	return fmt.Sprintf(rec.format, rec.args...)
+}
+
 // Recorder accumulates events in a ring buffer. The zero value is not
 // usable; create recorders with NewRecorder.
 type Recorder struct {
 	engine  *sim.Engine
-	ring    []Event
+	ring    []record
 	next    int
 	wrapped bool
 	total   int64
+	filter  func(source, kind string) bool
+
+	regEmitted *stats.Counter
 }
 
 // NewRecorder builds a recorder keeping the most recent capacity events.
@@ -49,38 +85,103 @@ func NewRecorder(engine *sim.Engine, capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Recorder{engine: engine, ring: make([]Event, capacity)}
+	return &Recorder{
+		engine:     engine,
+		ring:       make([]record, capacity),
+		regEmitted: engine.Stats().Counter("trace.emitted"),
+	}
 }
 
-// Emit records an event.
-func (r *Recorder) Emit(source, kind, format string, args ...any) {
-	r.ring[r.next] = Event{
-		At:     r.engine.Now(),
-		Source: source,
-		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
+// SetFilter restricts recording to events the predicate accepts; nil accepts
+// everything. Filtered-out events are not retained and not counted in
+// Total.
+func (r *Recorder) SetFilter(f func(source, kind string) bool) { r.filter = f }
+
+// ParseFilter compiles the CLI trace-filter syntax into a SetFilter
+// predicate: a comma-separated list of source=kind patterns, where either
+// side may be "*" (or empty) to match anything and the source pattern
+// matches by prefix, so "wlan=drop,mobile=*" keeps wlan drops plus
+// everything from watch points under "mobile". An empty spec returns nil
+// (record everything).
+func ParseFilter(spec string) func(source, kind string) bool {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
 	}
+	type pat struct{ source, kind string }
+	var pats []pat
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		src, kind, ok := strings.Cut(term, "=")
+		if !ok {
+			kind = "*"
+		}
+		pats = append(pats, pat{source: src, kind: kind})
+	}
+	if len(pats) == 0 {
+		return nil
+	}
+	return func(source, kind string) bool {
+		for _, p := range pats {
+			srcOK := p.source == "" || p.source == "*" || strings.HasPrefix(source, p.source)
+			kindOK := p.kind == "" || p.kind == "*" || kind == p.kind
+			if srcOK && kindOK {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Emit records an event. Formatting is deferred until the event is read, so
+// args must not be mutated after the call; pass value copies (or types like
+// PacketInfo) for data that lives on.
+func (r *Recorder) Emit(source, kind, format string, args ...any) {
+	if r.filter != nil && !r.filter(source, kind) {
+		return
+	}
+	rec := &r.ring[r.next]
+	rec.at = r.engine.Now()
+	rec.source = source
+	rec.kind = kind
+	rec.format = format
+	rec.args = append(rec.args[:0], args...)
 	r.next++
 	r.total++
+	r.regEmitted.Inc()
 	if r.next == len(r.ring) {
 		r.next = 0
 		r.wrapped = true
 	}
 }
 
-// Total reports how many events were ever emitted (including evicted ones).
+// Total reports how many events were ever emitted (including evicted ones,
+// excluding filtered ones).
 func (r *Recorder) Total() int64 { return r.total }
 
-// Events returns the retained events in emission order.
+// Events returns the retained events in emission order, formatting each
+// on the way out.
 func (r *Recorder) Events() []Event {
+	var recs []*record
 	if !r.wrapped {
-		out := make([]Event, r.next)
-		copy(out, r.ring[:r.next])
-		return out
+		for i := 0; i < r.next; i++ {
+			recs = append(recs, &r.ring[i])
+		}
+	} else {
+		for i := r.next; i < len(r.ring); i++ {
+			recs = append(recs, &r.ring[i])
+		}
+		for i := 0; i < r.next; i++ {
+			recs = append(recs, &r.ring[i])
+		}
 	}
-	out := make([]Event, 0, len(r.ring))
-	out = append(out, r.ring[r.next:]...)
-	out = append(out, r.ring[:r.next]...)
+	out := make([]Event, len(recs))
+	for i, rec := range recs {
+		out[i] = Event{At: rec.at, Source: rec.source, Kind: rec.kind, Detail: rec.detail()}
+	}
 	return out
 }
 
@@ -91,37 +192,74 @@ func (r *Recorder) Dump(w io.Writer) {
 	}
 }
 
-// describePacket renders a packet compactly, including TCP payload detail
-// when present.
-func describePacket(p *netem.Packet) string {
+// PacketInfo is a value copy of a packet's identifying fields, safe to hand
+// to Emit under the no-later-mutation contract: formatting reads these
+// copied fields, not the live packet.
+type PacketInfo struct {
+	Src, Dst netem.Addr
+	Size     int
+	Payload  any
+}
+
+// String renders the packet compactly, including TCP payload detail when
+// present.
+func (p PacketInfo) String() string {
 	return fmt.Sprintf("%s->%s %dB %v", p.Src, p.Dst, p.Size, p.Payload)
 }
 
+// packetInfo snapshots the fields the trace needs.
+func packetInfo(p *netem.Packet) PacketInfo {
+	return PacketInfo{Src: p.Src, Dst: p.Dst, Size: p.Size, Payload: p.Payload}
+}
+
 // WatchIface records every packet entering and leaving an interface. The
-// name labels the watch point in the trace.
+// name labels the watch point in the trace, and the watch feeds the
+// "trace.watch.<name>.egress"/".ingress" counters.
 func WatchIface(r *Recorder, name string, iface *netem.Iface) {
+	reg := r.engine.Stats()
+	egress := reg.Counter("trace.watch." + name + ".egress")
+	ingress := reg.Counter("trace.watch." + name + ".ingress")
 	iface.AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
-		r.Emit(name+"/egress", "pkt", "%s", describePacket(p))
+		egress.Inc()
+		r.Emit(name+"/egress", "pkt", "%v", packetInfo(p))
 		return []*netem.Packet{p}
 	}))
 	iface.AddIngressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
-		r.Emit(name+"/ingress", "pkt", "%s", describePacket(p))
+		ingress.Inc()
+		r.Emit(name+"/ingress", "pkt", "%v", packetInfo(p))
 		return []*netem.Packet{p}
 	}))
 }
 
 // WatchWireless records every drop (queue overflow or corruption) on a
-// wireless channel. It replaces any previously installed OnDrop observer.
+// wireless channel and feeds the "trace.watch.<name>.drops" counter. The
+// observer chains with any already installed (netem's OnDrop contract).
 func WatchWireless(r *Recorder, name string, ch *netem.WirelessChannel) {
+	drops := r.engine.Stats().Counter("trace.watch." + name + ".drops")
 	ch.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
-		r.Emit(name, "drop", "%v %s", reason, describePacket(p))
+		drops.Inc()
+		r.Emit(name, "drop", "%v %v", reason, packetInfo(p))
+	})
+}
+
+// WatchLink records every drop on a wired access link and feeds the
+// "trace.watch.<name>.drops" counter. The observer chains with any already
+// installed.
+func WatchLink(r *Recorder, name string, l *netem.AccessLink) {
+	drops := r.engine.Stats().Counter("trace.watch." + name + ".drops")
+	l.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
+		drops.Inc()
+		r.Emit(name, "drop", "%v %v", reason, packetInfo(p))
 	})
 }
 
 // WatchNetwork records packets blackholed by the routing layer (no-route
-// after a handoff). It replaces any previously installed observer.
+// after a handoff) and feeds the "trace.watch.<name>.drops" counter. The
+// observer chains with any already installed.
 func WatchNetwork(r *Recorder, name string, n *netem.Network) {
+	drops := r.engine.Stats().Counter("trace.watch." + name + ".drops")
 	n.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
-		r.Emit(name, "drop", "%v %s", reason, describePacket(p))
+		drops.Inc()
+		r.Emit(name, "drop", "%v %v", reason, packetInfo(p))
 	})
 }

@@ -125,3 +125,182 @@ func TestDump(t *testing.T) {
 		t.Errorf("dump = %q", b.String())
 	}
 }
+
+// TestRecorderWraparoundOrdering pins the Total/Events contract exactly at
+// and around the wrap boundary.
+func TestRecorderWraparoundOrdering(t *testing.T) {
+	const cap = 4
+	cases := []struct {
+		emit  int
+		first string
+		last  string
+	}{
+		{emit: 3, first: "e0", last: "e2"},   // under capacity
+		{emit: 4, first: "e0", last: "e3"},   // exactly full, not yet evicting
+		{emit: 5, first: "e1", last: "e4"},   // first eviction
+		{emit: 11, first: "e7", last: "e10"}, // wrapped multiple times
+	}
+	for _, tc := range cases {
+		r := NewRecorder(sim.NewEngine(), cap)
+		for i := 0; i < tc.emit; i++ {
+			r.Emit("s", "note", "e%d", i)
+		}
+		if r.Total() != int64(tc.emit) {
+			t.Errorf("emit=%d: Total = %d", tc.emit, r.Total())
+		}
+		evs := r.Events()
+		wantLen := tc.emit
+		if wantLen > cap {
+			wantLen = cap
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("emit=%d: retained %d, want %d", tc.emit, len(evs), wantLen)
+		}
+		if evs[0].Detail != tc.first || evs[len(evs)-1].Detail != tc.last {
+			t.Errorf("emit=%d: window [%s..%s], want [%s..%s]",
+				tc.emit, evs[0].Detail, evs[len(evs)-1].Detail, tc.first, tc.last)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i-1].At > evs[i].At {
+				t.Errorf("emit=%d: events out of order at %d", tc.emit, i)
+			}
+		}
+	}
+}
+
+// countingStringer counts String() calls to observe when formatting happens.
+type countingStringer struct{ calls *int }
+
+func (c countingStringer) String() string {
+	*c.calls++
+	return "formatted"
+}
+
+// TestEmitFormatsLazily proves Emit does not format: only events that are
+// still retained when read pay for their Sprintf.
+func TestEmitFormatsLazily(t *testing.T) {
+	r := NewRecorder(sim.NewEngine(), 2)
+	calls := 0
+	for i := 0; i < 10; i++ {
+		r.Emit("s", "note", "%v", countingStringer{&calls})
+	}
+	if calls != 0 {
+		t.Fatalf("Emit formatted eagerly: %d String() calls before read", calls)
+	}
+	evs := r.Events()
+	if calls != 2 {
+		t.Errorf("String() calls after read = %d, want 2 (ring capacity)", calls)
+	}
+	for _, ev := range evs {
+		if ev.Detail != "formatted" {
+			t.Errorf("Detail = %q", ev.Detail)
+		}
+	}
+}
+
+func TestSetFilterSkipsAndDoesNotCount(t *testing.T) {
+	r := NewRecorder(sim.NewEngine(), 8)
+	r.SetFilter(func(source, kind string) bool { return kind == "drop" })
+	r.Emit("s", "note", "skipped")
+	r.Emit("s", "drop", "kept")
+	if r.Total() != 1 {
+		t.Errorf("Total = %d, want 1 (filtered events must not count)", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Detail != "kept" {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	if ParseFilter("") != nil {
+		t.Error("empty spec should return nil (record everything)")
+	}
+	if ParseFilter(" , ") != nil {
+		t.Error("blank terms should return nil")
+	}
+	f := ParseFilter("wlan=drop,mobile=*")
+	cases := []struct {
+		source, kind string
+		want         bool
+	}{
+		{"wlan", "drop", true},
+		{"wlan", "pkt", false},
+		{"mobile/egress", "pkt", true}, // source prefix match
+		{"mobile/ingress", "drop", true},
+		{"net", "drop", false},
+	}
+	for _, tc := range cases {
+		if got := f(tc.source, tc.kind); got != tc.want {
+			t.Errorf("filter(%q, %q) = %v, want %v", tc.source, tc.kind, got, tc.want)
+		}
+	}
+	// Bare source term (no "=") matches every kind from that source.
+	g := ParseFilter("wlan")
+	if !g("wlan", "pkt") || g("net", "pkt") {
+		t.Error("bare source term should match any kind from that source only")
+	}
+	// Bare wildcard matches everything.
+	h := ParseFilter("*")
+	if !h("anything", "at-all") {
+		t.Error("* should match everything")
+	}
+}
+
+// TestWatchPointCounters checks the watch helpers feed the stats registry
+// even when the recorder's filter suppresses retention.
+func TestWatchPointCounters(t *testing.T) {
+	e := sim.NewEngine()
+	n := netem.NewNetwork(e, netem.NetworkConfig{})
+	la := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	lb := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+	ia := n.Attach(1, la, nil)
+	n.Attach(2, lb, netem.HandlerFunc(func(p *netem.Packet) {}))
+
+	r := NewRecorder(e, 64)
+	r.SetFilter(func(string, string) bool { return false }) // retain nothing
+	WatchIface(r, "hostA", ia)
+	WatchNetwork(r, "net", n)
+
+	ia.Send(&netem.Packet{Dst: netem.Addr{IP: 2}, Size: 100})
+	ia.Send(&netem.Packet{Dst: netem.Addr{IP: 99}, Size: 100})
+	e.Run()
+
+	if r.Total() != 0 {
+		t.Errorf("Total = %d, want 0 with retain-nothing filter", r.Total())
+	}
+	snap := e.Stats().Snapshot()
+	want := map[string]int64{
+		"trace.watch.hostA.egress": 2,
+		"trace.watch.net.drops":    1,
+	}
+	got := make(map[string]int64)
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+func TestWatchLinkRecordsDrops(t *testing.T) {
+	e := sim.NewEngine()
+	l := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1000, DownRate: 1000, QueueCap: 1})
+	r := NewRecorder(e, 64)
+	WatchLink(r, "dsl", l)
+	for i := 0; i < 5; i++ {
+		l.SendUp(&netem.Packet{Size: 1000}, func(*netem.Packet) {})
+	}
+	e.Run()
+	found := false
+	for _, ev := range r.Events() {
+		if ev.Source == "dsl" && ev.Kind == "drop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no drop recorded on wired link")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
 
@@ -91,14 +92,24 @@ type AMFilter struct {
 	cfg    AMConfig
 	flows  map[netem.Addr]*amFlow
 	stats  AMStats
+
+	regDecoupled  *stats.Counter
+	regDupDropped *stats.Counter
+	regGateYoung  *stats.Counter
+	regGateMature *stats.Counter
 }
 
 // NewAMFilter builds the filter; call Install to attach it to an interface.
 func NewAMFilter(engine *sim.Engine, cfg AMConfig) *AMFilter {
+	reg := engine.Stats()
 	return &AMFilter{
-		engine: engine,
-		cfg:    cfg.withDefaults(),
-		flows:  make(map[netem.Addr]*amFlow),
+		engine:        engine,
+		cfg:           cfg.withDefaults(),
+		flows:         make(map[netem.Addr]*amFlow),
+		regDecoupled:  reg.Counter("wp2p.am.decoupled"),
+		regDupDropped: reg.Counter("wp2p.am.dupacks_dropped"),
+		regGateYoung:  reg.Counter("wp2p.am.gate_young"),
+		regGateMature: reg.Counter("wp2p.am.gate_mature"),
 	}
 }
 
@@ -156,6 +167,12 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
 	}
 	fl := f.flow(pkt.Dst)
 	status := f.Status(pkt.Dst)
+	// Count how the γ young-connection gate classified this egress decision.
+	if status == FlowYoung {
+		f.regGateYoung.Inc()
+	} else {
+		f.regGateMature.Inc()
+	}
 
 	if seg.Len > 0 {
 		// Data segment carrying (possibly new) piggybacked ACK information.
@@ -168,6 +185,7 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
 				// of the data packet, so a data-packet corruption does not
 				// take the ACK down with it.
 				f.stats.Decoupled++
+				f.regDecoupled.Inc()
 				pure := &tcp.Segment{Seq: seg.Seq, Ack: seg.Ack, HasAck: true}
 				purePkt := &netem.Packet{
 					Src:     pkt.Src,
@@ -189,6 +207,7 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
 				// Thin one in N so the wireless leg's packet count halves
 				// after congestion instead of staying level.
 				f.stats.DupAcksDropped++
+				f.regDupDropped.Inc()
 				return nil
 			}
 		} else if seg.Ack > fl.lastAck {

@@ -104,6 +104,7 @@ func New(cfg Config) *Client {
 
 	if cfg.MF != nil {
 		c.mf = NewMobilityFetch(cfg.MF.Pr)
+		c.mf.bindStats(engine.Stats())
 		cfg.BT.Picker = c.mf
 	}
 	if cfg.LIHD != nil {

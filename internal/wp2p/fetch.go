@@ -6,6 +6,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // PrFunc returns the probability p_r of fetching rarest-first (as opposed
@@ -69,6 +70,11 @@ type MobilityFetch struct {
 
 	rarestPicks int64
 	seqPicks    int64
+
+	// Optional registry counters, set by bindStats (wp2p.New does this; a
+	// standalone picker keeps only the local fields).
+	regRarest *stats.Counter
+	regSeq    *stats.Counter
 }
 
 // NewMobilityFetch builds the picker with the given schedule (nil selects
@@ -80,14 +86,26 @@ func NewMobilityFetch(pr PrFunc) *MobilityFetch {
 	return &MobilityFetch{Pr: pr}
 }
 
+// bindStats attaches the picker's decision counters to a registry.
+func (m *MobilityFetch) bindStats(reg *stats.Registry) {
+	m.regRarest = reg.Counter("wp2p.mf.picks.rarest")
+	m.regSeq = reg.Counter("wp2p.mf.picks.sequential")
+}
+
 // PickPiece implements bt.Picker.
 func (m *MobilityFetch) PickPiece(ctx *bt.PickContext) int {
 	pr := m.Pr(ctx)
 	if ctx.Rand != nil && ctx.Rand.Float64() < pr {
 		m.rarestPicks++
+		if m.regRarest != nil {
+			m.regRarest.Inc()
+		}
 		return m.rarest.PickPiece(ctx)
 	}
 	m.seqPicks++
+	if m.regSeq != nil {
+		m.regSeq.Inc()
+	}
 	return m.seq.PickPiece(ctx)
 }
 

@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // LIHDConfig tunes the Linear Increase History-based Decrease controller.
@@ -85,6 +86,10 @@ type LIHD struct {
 	dprev   float64
 	decCnt  int
 	updates int
+
+	regUpdates   *stats.Counter
+	regIncreases *stats.Counter
+	regDecreases *stats.Counter
 }
 
 // NewLIHD builds a controller driving limiter from the download rate of
@@ -99,11 +104,14 @@ func NewLIHD(engine *sim.Engine, limiter *bt.Limiter, source RateSource, cfg LIH
 	}
 	c := cfg.withDefaults()
 	l := &LIHD{
-		cfg:     c,
-		limiter: limiter,
-		source:  source,
-		engine:  engine,
-		ucur:    0.5 * float64(c.Umax), // Ucur = 0.5·Umax (Figure 6, line 1)
+		cfg:          c,
+		limiter:      limiter,
+		source:       source,
+		engine:       engine,
+		ucur:         0.5 * float64(c.Umax), // Ucur = 0.5·Umax (Figure 6, line 1)
+		regUpdates:   engine.Stats().Counter("wp2p.lihd.updates"),
+		regIncreases: engine.Stats().Counter("wp2p.lihd.increases"),
+		regDecreases: engine.Stats().Counter("wp2p.lihd.decreases"),
 	}
 	limiter.SetRate(netem.Rate(l.ucur))
 	return l
@@ -133,6 +141,7 @@ func (l *LIHD) Updates() int { return l.updates }
 // update is one controller iteration (Figure 6, Update block).
 func (l *LIHD) update() {
 	l.updates++
+	l.regUpdates.Inc()
 	dcur := l.source.DownloadRate()
 	if l.dprev != 0 {
 		switch {
@@ -140,10 +149,12 @@ func (l *LIHD) update() {
 			// Downloads improving: be conservative going up.
 			l.ucur += float64(l.cfg.Alpha)
 			l.decCnt = 0
+			l.regIncreases.Inc()
 		case dcur < l.dprev*(1-l.cfg.Epsilon):
 			// Downloads worse: back off with growing aggression.
 			l.decCnt++
 			l.ucur -= float64(l.cfg.Beta) * float64(l.decCnt)
+			l.regDecreases.Inc()
 		default:
 			// Within the noise band: hold at the peak we found.
 		}

@@ -6,6 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/stats"
 )
 
 // RRConfig tunes the Role Reversal watchdog.
@@ -46,11 +47,12 @@ type RoleReversal struct {
 	iface  *netem.Iface
 	cfg    RRConfig
 
-	ticker    *sim.Ticker
-	lastIP    netem.IP
-	deadSince time.Duration
-	everAlive bool
-	reversals int
+	ticker       *sim.Ticker
+	lastIP       netem.IP
+	deadSince    time.Duration
+	everAlive    bool
+	reversals    int
+	regReversals *stats.Counter
 
 	// OnReversal fires after each reconnect sweep, for tests and metrics.
 	OnReversal func()
@@ -59,11 +61,12 @@ type RoleReversal struct {
 // NewRoleReversal builds the watchdog; call Start to begin monitoring.
 func NewRoleReversal(engine *sim.Engine, client *bt.Client, iface *netem.Iface, cfg RRConfig) *RoleReversal {
 	return &RoleReversal{
-		engine: engine,
-		client: client,
-		iface:  iface,
-		cfg:    cfg.withDefaults(),
-		lastIP: iface.IP(),
+		engine:       engine,
+		client:       client,
+		iface:        iface,
+		cfg:          cfg.withDefaults(),
+		lastIP:       iface.IP(),
+		regReversals: engine.Stats().Counter("wp2p.rr.reversals"),
 	}
 }
 
@@ -115,6 +118,7 @@ func (r *RoleReversal) check() {
 // connections to every stored peer, announcing the new address as it goes.
 func (r *RoleReversal) reverse() {
 	r.reversals++
+	r.regReversals.Inc()
 	r.client.Restart(!r.cfg.RetainIdentity)
 	r.client.RedialKnown()
 	if r.OnReversal != nil {
