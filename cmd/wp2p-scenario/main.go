@@ -1,0 +1,149 @@
+// Command wp2p-scenario validates and runs declarative scenario files
+// (wp2p.scenario.v1): JSON specs describing a topology, a workload, and a
+// timed churn/fault-injection schedule, executed on the same simulation
+// stack as the hardcoded experiments.
+//
+// Usage:
+//
+//	wp2p-scenario [-validate] [-scale f] [-parallel n] [-seed n] [-runs n]
+//	              [-sweep path=v1,v2,...] [-stats] [-json dir] file.json ...
+//
+// Each file runs to a figure printed as a text table. -validate only loads
+// and checks the files, reporting errors by JSON path. -sweep fans the
+// scenario over an override path from the command line ("-sweep
+// peers[0].mobility.period=0s,2m,30s"), replacing any sweep in the file.
+//
+// Runs are deterministic: the spec's seed (or -seed) fixes every RNG draw,
+// and results are bit-identical at any -parallel setting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/experiments"
+	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	validate := flag.Bool("validate", false, "load and validate the files, run nothing")
+	scale := flag.Float64("scale", 1.0, "scenario scale: 1.0 = spec-faithful sizes, smaller = faster")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
+	seed := flag.Int64("seed", 0, "override the spec's base seed (0 = use the spec's)")
+	runs := flag.Int("runs", 0, "override the spec's averaged runs per grid cell (0 = use the spec's)")
+	sweep := flag.String("sweep", "", "sweep an override path from the CLI: path=v1,v2,... (replaces the file's sweep)")
+	stats := flag.Bool("stats", false, "print each scenario's cross-layer stats summary")
+	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wp2p-scenario [-validate] [-scale f] [-parallel n] [-sweep path=v1,v2] [-stats] [-json dir] file.json ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	var cliSweep *scenario.SweepSpec
+	if *sweep != "" {
+		sw, err := parseSweepFlag(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: -sweep: %v\n", err)
+			return 2
+		}
+		cliSweep = sw
+	}
+
+	specs := make([]*scenario.Spec, 0, len(files))
+	exit := 0
+	for _, path := range files {
+		s, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			exit = 1
+			continue
+		}
+		if *seed != 0 {
+			s.Seed = *seed
+		}
+		if *runs != 0 {
+			s.Runs = *runs
+		}
+		if cliSweep != nil {
+			s.Sweep = cliSweep
+		}
+		if *validate {
+			fmt.Printf("%s: ok (%s)\n", path, s.Name)
+		}
+		specs = append(specs, s)
+	}
+	if *validate || len(specs) == 0 {
+		return exit
+	}
+
+	runner.SetWorkers(*parallel)
+
+	type outcome struct {
+		res *experiments.Result
+		err error
+		dur time.Duration
+	}
+	runner.Stream(*parallel, len(specs),
+		func(i int) outcome {
+			start := time.Now()
+			res, err := scenario.Run(specs[i], *scale)
+			return outcome{res: res, err: err, dur: time.Since(start)}
+		},
+		func(i int, o outcome) {
+			if o.err != nil {
+				fmt.Fprintf(os.Stderr, "wp2p-scenario: %s: %v\n", specs[i].Name, o.err)
+				exit = 1
+				return
+			}
+			fmt.Println(o.res.Table())
+			if *stats {
+				fmt.Print(o.res.Stats.Table())
+			}
+			if *jsonDir != "" {
+				if path, err := o.res.ExportJSON(*jsonDir); err != nil {
+					fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+					exit = 1
+				} else {
+					fmt.Printf("[wrote %s]\n", path)
+				}
+			}
+			fmt.Printf("[%s completed in %v]\n\n", specs[i].Name, o.dur.Round(time.Millisecond))
+		})
+	return exit
+}
+
+// parseSweepFlag turns "peers[0].mobility.period=0s,2m,30s" into a sweep.
+// Each value parses as JSON when it can (numbers, booleans) and rides as a
+// string otherwise (durations, rates — no shell-hostile quoting needed).
+func parseSweepFlag(arg string) (*scenario.SweepSpec, error) {
+	path, list, ok := strings.Cut(arg, "=")
+	if !ok || path == "" || list == "" {
+		return nil, fmt.Errorf("want path=v1,v2,..., got %q", arg)
+	}
+	sw := &scenario.SweepSpec{Param: path, XLabel: path}
+	for _, tok := range strings.Split(list, ",") {
+		var v any
+		if err := json.Unmarshal([]byte(tok), &v); err != nil {
+			v = tok
+		}
+		sw.Values = append(sw.Values, v)
+	}
+	return sw, nil
+}

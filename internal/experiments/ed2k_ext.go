@@ -103,9 +103,9 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		h := mobility.NewHandoff(w.Engine, w.Net, mobHost.Iface, mobility.NewIPAllocator(7000), cfg.HandoffPeriod)
 		if retainHash {
 			// wP2P-style reaction: detect fast, keep the identity.
-			h.OnChange = func(_, _ netem.IP) {
+			h.OnChange(func(_, _ netem.IP) {
 				w.Engine.Schedule(2*time.Second, func() { mobile.Restart(false) })
-			}
+			})
 		} else {
 			mobility.DefaultReaction(w.Engine, h, mobile, 15*time.Second)
 		}

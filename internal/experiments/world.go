@@ -65,10 +65,16 @@ func DisableTracing() {
 // NewWorld builds a world with the given seed and tracker announce
 // interval (zero selects the bt default).
 func NewWorld(seed int64, announce time.Duration) *World {
+	return NewWorldNet(seed, announce, netem.NetworkConfig{CloudDelay: 15 * time.Millisecond})
+}
+
+// NewWorldNet is NewWorld with an explicit network config, for callers (the
+// scenario engine) that shape the routing cloud themselves.
+func NewWorldNet(seed int64, announce time.Duration, netCfg netem.NetworkConfig) *World {
 	e := sim.NewEngine(sim.WithSeed(seed))
 	w := &World{
 		Engine:  e,
-		Net:     netem.NewNetwork(e, netem.NetworkConfig{CloudDelay: 15 * time.Millisecond}),
+		Net:     netem.NewNetwork(e, netCfg),
 		Tracker: bt.NewTracker(e, bt.TrackerConfig{Interval: announce}),
 		seed:    seed,
 		nextIP:  netem.IP(10),
@@ -183,8 +189,9 @@ func (w *World) BTConfig(h *Host, torrent *bt.MetaInfo) bt.Config {
 	return bt.Config{Stack: h.Stack, Torrent: torrent, Tracker: w.Tracker}
 }
 
-// scaled multiplies n by scale with a floor of lo.
-func scaled(n int64, scale float64, lo int64) int64 {
+// Scaled multiplies n by scale with a floor of lo — the sizing rule every
+// registry experiment (and the scenario engine) applies to -scale.
+func Scaled(n int64, scale float64, lo int64) int64 {
 	v := int64(float64(n) * scale)
 	if v < lo {
 		return lo
@@ -192,13 +199,20 @@ func scaled(n int64, scale float64, lo int64) int64 {
 	return v
 }
 
-// scaledDur multiplies d by scale with a floor.
-func scaledDur(d time.Duration, scale float64, lo time.Duration) time.Duration {
+// ScaledDur multiplies d by scale with a floor.
+func ScaledDur(d time.Duration, scale float64, lo time.Duration) time.Duration {
 	v := time.Duration(float64(d) * scale)
 	if v < lo {
 		return lo
 	}
 	return v
+}
+
+// scaled and scaledDur keep the experiment files' original spelling.
+func scaled(n int64, scale float64, lo int64) int64 { return Scaled(n, scale, lo) }
+
+func scaledDur(d time.Duration, scale float64, lo time.Duration) time.Duration {
+	return ScaledDur(d, scale, lo)
 }
 
 // SwarmConfig describes the fixed-peer population of a contested swarm.

@@ -16,18 +16,33 @@ import (
 // IPAllocator hands out fresh addresses for handoffs. The zero value is not
 // usable; create allocators with NewIPAllocator.
 type IPAllocator struct {
-	next netem.IP
+	next      netem.IP
+	exhausted bool
 }
 
-// NewIPAllocator returns an allocator starting at base.
+// NewIPAllocator returns an allocator starting at base. Base 0 is rejected:
+// address 0 means "unset" throughout netem, so handing it out would silently
+// break source stamping.
 func NewIPAllocator(base netem.IP) *IPAllocator {
+	if base == 0 {
+		panic("mobility: IPAllocator base must be non-zero")
+	}
 	return &IPAllocator{next: base}
 }
 
-// Next returns a fresh address.
+// Next returns a fresh address. Once the 32-bit space is exhausted it panics
+// rather than wrapping around: a wrapped allocator would re-issue addresses
+// still bound to other interfaces, and netem.Rebind turns that construction
+// bug into a hard-to-trace routing panic much later.
 func (a *IPAllocator) Next() netem.IP {
+	if a.exhausted {
+		panic("mobility: IPAllocator exhausted its address space")
+	}
 	ip := a.next
 	a.next++
+	if a.next == 0 { // wrapped past the top of the space
+		a.exhausted = true
+	}
 	return ip
 }
 
@@ -40,12 +55,12 @@ type Handoff struct {
 	iface  *netem.Iface
 	alloc  *IPAllocator
 	period time.Duration
+	jitter time.Duration
 	ticker *sim.Ticker
+	next   *sim.Event // pending fire when running jittered
 
-	// OnChange fires after each address change with the old and new
-	// addresses. Clients hook their reaction (task re-initiation, role
-	// reversal, …) here.
-	OnChange func(old, new netem.IP)
+	// changeObs observe every address change, in registration order.
+	changeObs []func(old, new netem.IP)
 
 	changes     int
 	regHandoffs *stats.Counter
@@ -62,12 +77,57 @@ func NewHandoff(engine *sim.Engine, net *netem.Network, iface *netem.Iface, allo
 	}
 }
 
-// Start begins the handoff schedule; the first change is one period away.
-func (h *Handoff) Start() {
-	if h.ticker != nil {
+// OnChange registers an observer fired after each address change with the
+// old and new addresses. Observers chain: each call appends, and every
+// registered observer sees every change in registration order, so a scenario
+// scheduler and the client's own reaction compose instead of silently
+// replacing each other. Pass nil to remove all observers.
+func (h *Handoff) OnChange(fn func(old, new netem.IP)) {
+	if fn == nil {
+		h.changeObs = nil
 		return
 	}
-	h.ticker = sim.NewTicker(h.engine, h.period, h.fire)
+	h.changeObs = append(h.changeObs, fn)
+}
+
+// SetJitter randomizes the schedule: each gap is drawn uniformly from
+// [period−j, period+j] on the engine's RNG, so handoffs stop beating against
+// other periodic behaviour (announces, choke rounds) while staying fully
+// deterministic for a given engine seed. It must be set before Start;
+// j must satisfy 0 ≤ j < period.
+func (h *Handoff) SetJitter(j time.Duration) {
+	if j < 0 || j >= h.period {
+		panic("mobility: handoff jitter must be in [0, period)")
+	}
+	if h.Running() {
+		panic("mobility: SetJitter on a running handoff")
+	}
+	h.jitter = j
+}
+
+// Start begins the handoff schedule; the first change is one (possibly
+// jittered) period away. Starting a running handoff is a no-op; a stopped
+// handoff can be started again and resumes with a full period.
+func (h *Handoff) Start() {
+	if h.Running() {
+		return
+	}
+	if h.jitter == 0 {
+		h.ticker = sim.NewTicker(h.engine, h.period, h.fire)
+		return
+	}
+	h.scheduleJittered()
+}
+
+// scheduleJittered arms the next jittered fire.
+func (h *Handoff) scheduleJittered() {
+	gap := h.period - h.jitter +
+		time.Duration(h.engine.Rand().Int63n(int64(2*h.jitter)+1))
+	h.next = h.engine.Schedule(gap, func() {
+		h.next = nil
+		h.fire()
+		h.scheduleJittered()
+	})
 }
 
 // Stop halts the schedule.
@@ -76,7 +136,14 @@ func (h *Handoff) Stop() {
 		h.ticker.Stop()
 		h.ticker = nil
 	}
+	if h.next != nil {
+		h.engine.Cancel(h.next)
+		h.next = nil
+	}
 }
+
+// Running reports whether the schedule is armed.
+func (h *Handoff) Running() bool { return h.ticker != nil || h.next != nil }
 
 // Trigger performs one handoff immediately.
 func (h *Handoff) Trigger() { h.fire() }
@@ -90,8 +157,8 @@ func (h *Handoff) fire() {
 	h.net.Rebind(h.iface, next)
 	h.changes++
 	h.regHandoffs.Inc()
-	if h.OnChange != nil {
-		h.OnChange(old, next)
+	for _, fn := range h.changeObs {
+		fn(old, next)
 	}
 }
 
@@ -136,13 +203,9 @@ type Restarter interface {
 // task — the task is re-initiated with a fresh peer-id, forfeiting all
 // tit-for-tat credit (paper §3.4). A zero delay reacts immediately.
 func DefaultReaction(engine *sim.Engine, h *Handoff, client Restarter, detectionDelay time.Duration) {
-	prev := h.OnChange
-	h.OnChange = func(old, new netem.IP) {
-		if prev != nil {
-			prev(old, new)
-		}
+	h.OnChange(func(old, new netem.IP) {
 		engine.Schedule(detectionDelay, func() { client.Restart(true) })
-	}
+	})
 }
 
 // ObliviousReaction models a client that never notices address changes (the

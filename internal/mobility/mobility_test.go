@@ -27,7 +27,7 @@ func TestHandoffChangesAddressPeriodically(t *testing.T) {
 	e, n, iface := fixture()
 	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Minute)
 	var changes [][2]netem.IP
-	h.OnChange = func(old, new netem.IP) { changes = append(changes, [2]netem.IP{old, new}) }
+	h.OnChange(func(old, new netem.IP) { changes = append(changes, [2]netem.IP{old, new}) })
 	h.Start()
 	e.RunUntil(3*time.Minute + time.Second)
 	h.Stop()
@@ -131,10 +131,141 @@ func TestDefaultReactionPreservesExistingHook(t *testing.T) {
 	e, n, iface := fixture()
 	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
 	hookRan := false
-	h.OnChange = func(_, _ netem.IP) { hookRan = true }
+	h.OnChange(func(_, _ netem.IP) { hookRan = true })
 	DefaultReaction(e, h, &fakeRestarter{}, 0)
 	h.Trigger()
 	if !hookRan {
 		t.Error("pre-existing OnChange hook was clobbered")
 	}
+}
+
+func TestOnChangeObserversChain(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Hour)
+	var order []int
+	h.OnChange(func(_, _ netem.IP) { order = append(order, 1) })
+	h.OnChange(func(_, _ netem.IP) { order = append(order, 2) })
+	h.Trigger()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("observers = %v, want [1 2] in registration order", order)
+	}
+	h.OnChange(nil) // clears
+	h.Trigger()
+	if len(order) != 2 {
+		t.Errorf("observers fired after OnChange(nil): %v", order)
+	}
+}
+
+func TestIPAllocatorGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewIPAllocator(0)", func() { NewIPAllocator(0) })
+
+	// An allocator at the top of the space hands out its last addresses and
+	// then refuses to wrap around into addresses that may still be bound.
+	a := NewIPAllocator(netem.IP(0xFFFFFFFE))
+	if a.Next() != 0xFFFFFFFE || a.Next() != 0xFFFFFFFF {
+		t.Fatal("allocator not sequential at top of space")
+	}
+	mustPanic("Next after exhaustion", func() { a.Next() })
+	mustPanic("Next after exhaustion (again)", func() { a.Next() })
+}
+
+func TestHandoffRestartAfterStop(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Minute)
+	h.Start()
+	h.Start() // second Start is a no-op, not a double schedule
+	e.RunUntil(90 * time.Second)
+	h.Stop()
+	if h.Running() {
+		t.Fatal("Running after Stop")
+	}
+	e.RunUntil(5 * time.Minute)
+	if h.Changes() != 1 {
+		t.Fatalf("Changes = %d after Stop, want 1", h.Changes())
+	}
+	// Restart resumes the schedule with a full period from now.
+	h.Start()
+	if !h.Running() {
+		t.Fatal("not Running after restart")
+	}
+	e.RunUntil(5*time.Minute + 61*time.Second)
+	if h.Changes() != 2 {
+		t.Errorf("Changes = %d after restart, want 2", h.Changes())
+	}
+	if iface.IP() != 51 {
+		t.Errorf("final IP = %v, want 51", iface.IP())
+	}
+}
+
+func TestHandoffJitteredPeriods(t *testing.T) {
+	e, n, iface := fixture()
+	h := NewHandoff(e, n, iface, NewIPAllocator(50), time.Minute)
+	h.SetJitter(20 * time.Second)
+	var fireTimes []time.Duration
+	h.OnChange(func(_, _ netem.IP) { fireTimes = append(fireTimes, e.Now()) })
+	h.Start()
+	e.RunUntil(30 * time.Minute)
+	h.Stop()
+	e.RunUntil(40 * time.Minute)
+	if got := len(fireTimes); got < 20 || got > 45 {
+		t.Fatalf("fires = %d over 30 min with 60s±20s period, want ~30", got)
+	}
+	if h.Changes() != len(fireTimes) {
+		t.Errorf("Changes = %d, observers saw %d", h.Changes(), len(fireTimes))
+	}
+	prev := time.Duration(0)
+	varied := false
+	for i, at := range fireTimes {
+		gap := at - prev
+		prev = at
+		if gap < 40*time.Second || gap > 80*time.Second {
+			t.Fatalf("gap %d = %v, want within 60s±20s", i, gap)
+		}
+		if gap != time.Minute {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("every gap was exactly the period; jitter never applied")
+	}
+
+	// Determinism: the same engine seed reproduces the same fire times.
+	e2, n2, iface2 := fixture()
+	h2 := NewHandoff(e2, n2, iface2, NewIPAllocator(50), time.Minute)
+	h2.SetJitter(20 * time.Second)
+	var times2 []time.Duration
+	h2.OnChange(func(_, _ netem.IP) { times2 = append(times2, e2.Now()) })
+	h2.Start()
+	e2.RunUntil(30 * time.Minute)
+	h2.Stop()
+	if len(times2) != len(fireTimes) {
+		t.Fatalf("replay fired %d times, first run %d", len(times2), len(fireTimes))
+	}
+	for i := range times2 {
+		if times2[i] != fireTimes[i] {
+			t.Fatalf("fire %d at %v, first run %v: jittered schedule not deterministic", i, times2[i], fireTimes[i])
+		}
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SetJitter ≥ period", func() { h2.SetJitter(time.Minute) })
+	h2.Start()
+	mustPanic("SetJitter while running", func() { h2.SetJitter(time.Second) })
 }

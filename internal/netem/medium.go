@@ -77,6 +77,19 @@ func (l *AccessLink) OnDrop(fn func(pkt *Packet, reason DropReason)) {
 	l.down.dropObs = append(l.down.dropObs, fn)
 }
 
+// SetRate changes the link's bandwidth from now on — a mid-run rate-limit
+// change (ISP shaping, congestion policy, scenario fault injection). The
+// packet being serialized finishes at the old rate. A zero direction keeps
+// its current rate.
+func (l *AccessLink) SetRate(up, down Rate) {
+	if up > 0 {
+		l.up.setRate(up)
+	}
+	if down > 0 {
+		l.down.setRate(down)
+	}
+}
+
 // InFlight reports packets queued or being serialized in both directions.
 func (l *AccessLink) InFlight() int { return l.up.inFlight() + l.down.inFlight() }
 
@@ -143,6 +156,16 @@ func (c *WirelessChannel) SendDown(pkt *Packet, deliver func(*Packet)) {
 // SetBER changes the channel's bit error rate, affecting packets transmitted
 // from now on.
 func (c *WirelessChannel) SetBER(ber float64) { c.ber = ber }
+
+// SetRate changes the shared channel bandwidth from now on — a station
+// renegotiating its PHY rate as signal quality shifts. The packet being
+// serialized finishes at the old rate; r must be positive.
+func (c *WirelessChannel) SetRate(r Rate) {
+	if r <= 0 {
+		panic("netem: WirelessChannel.SetRate requires a positive rate")
+	}
+	c.x.setRate(r)
+}
 
 // BER returns the current bit error rate.
 func (c *WirelessChannel) BER() float64 { return c.ber }

@@ -123,6 +123,7 @@ const (
 	DropQueueOverflow DropReason = iota + 1 // drop-tail buffer full
 	DropCorrupted                           // failed the BER coin flip
 	DropNoRoute                             // destination IP not bound (e.g. after handoff)
+	DropPartitioned                         // the src↔dst pair is administratively partitioned
 )
 
 // String names the drop reason.
@@ -134,6 +135,8 @@ func (r DropReason) String() string {
 		return "corrupted"
 	case DropNoRoute:
 		return "no-route"
+	case DropPartitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}

@@ -18,11 +18,13 @@ type Network struct {
 	cloudDelay time.Duration
 	jitter     time.Duration
 	pairDelay  map[ipPair]time.Duration
+	blocked    map[ipPair]bool
 	// dropObs observe every blackholed packet, in registration order.
 	dropObs []func(pkt *Packet, reason DropReason)
 
-	regRouted  *stats.Counter
-	regNoRoute *stats.Counter
+	regRouted      *stats.Counter
+	regNoRoute     *stats.Counter
+	regPartitioned *stats.Counter
 }
 
 // ipPair is an unordered address pair.
@@ -59,9 +61,11 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		ifaces:     make(map[IP]*Iface),
 		cloudDelay: cfg.CloudDelay,
 		jitter:     cfg.Jitter,
-		pairDelay:  make(map[ipPair]time.Duration),
-		regRouted:  engine.Stats().Counter("netem.packets_routed"),
-		regNoRoute: engine.Stats().Counter("netem.drops.no_route"),
+		pairDelay:      make(map[ipPair]time.Duration),
+		blocked:        make(map[ipPair]bool),
+		regRouted:      engine.Stats().Counter("netem.packets_routed"),
+		regNoRoute:     engine.Stats().Counter("netem.drops.no_route"),
+		regPartitioned: engine.Stats().Counter("netem.drops.partitioned"),
 	}
 }
 
@@ -72,6 +76,22 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 func (n *Network) SetPairDelay(a, b IP, d time.Duration) {
 	n.pairDelay[pairOf(a, b)] = d
 }
+
+// SetPairBlocked partitions (or heals, with blocked=false) the core between
+// two addresses: packets between them are dropped with DropPartitioned while
+// the block holds, in either direction. Like SetPairDelay it keys on the
+// hosts' current addresses, so a handoff to a fresh address escapes the
+// partition — moving to a new access network would.
+func (n *Network) SetPairBlocked(a, b IP, blocked bool) {
+	if blocked {
+		n.blocked[pairOf(a, b)] = true
+		return
+	}
+	delete(n.blocked, pairOf(a, b))
+}
+
+// PairBlocked reports whether the pair is currently partitioned.
+func (n *Network) PairBlocked(a, b IP) bool { return n.blocked[pairOf(a, b)] }
 
 // delayFor returns the core delay for one crossing.
 func (n *Network) delayFor(src, dst IP) time.Duration {
@@ -170,7 +190,11 @@ func (n *Network) OnDrop(fn func(pkt *Packet, reason DropReason)) {
 
 // drop reports a blackholed packet to all observers.
 func (n *Network) drop(pkt *Packet, reason DropReason) {
-	n.regNoRoute.Inc()
+	if reason == DropPartitioned {
+		n.regPartitioned.Inc()
+	} else {
+		n.regNoRoute.Inc()
+	}
 	for _, fn := range n.dropObs {
 		fn(pkt, reason)
 	}
@@ -210,6 +234,10 @@ func (ifc *Iface) Send(pkt *Packet) {
 // medium and forwards it across the core to the destination's access medium.
 func (n *Network) routeFromCloud(pkt *Packet) {
 	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), func() {
+		if n.blocked[pairOf(pkt.Src.IP, pkt.Dst.IP)] {
+			n.drop(pkt, DropPartitioned)
+			return
+		}
 		dst, ok := n.ifaces[pkt.Dst.IP]
 		if !ok {
 			n.drop(pkt, DropNoRoute)

@@ -1,0 +1,120 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// twoHosts wires two wired hosts into a network and returns a delivery
+// counter for the second one.
+func twoHosts(e *sim.Engine) (n *Network, a, b *Iface, delivered *int) {
+	n = NewNetwork(e, NetworkConfig{})
+	la := NewAccessLink(e, AccessLinkConfig{UpRate: 100 * KBps, DownRate: 100 * KBps})
+	lb := NewAccessLink(e, AccessLinkConfig{UpRate: 100 * KBps, DownRate: 100 * KBps})
+	count := 0
+	a = n.Attach(1, la, nil)
+	b = n.Attach(2, lb, HandlerFunc(func(*Packet) { count++ }))
+	return n, a, b, &count
+}
+
+func TestSetPairBlockedPartitionsAndHeals(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	n, a, _, delivered := twoHosts(e)
+
+	var drops []DropReason
+	n.OnDrop(func(_ *Packet, r DropReason) { drops = append(drops, r) })
+
+	send := func() {
+		a.Send(&Packet{Dst: Addr{IP: 2, Port: 9}, Size: 100})
+		e.Run()
+	}
+	send()
+	if *delivered != 1 {
+		t.Fatalf("delivered = %d before partition, want 1", *delivered)
+	}
+
+	n.SetPairBlocked(1, 2, true)
+	if !n.PairBlocked(2, 1) {
+		t.Fatal("PairBlocked false after SetPairBlocked (pair should be unordered)")
+	}
+	send()
+	if *delivered != 1 {
+		t.Fatalf("delivered = %d during partition, want 1", *delivered)
+	}
+	if len(drops) != 1 || drops[0] != DropPartitioned {
+		t.Fatalf("drops = %v, want [partitioned]", drops)
+	}
+	if got := e.Stats().Counter("netem.drops.partitioned").Value(); got != 1 {
+		t.Errorf("partitioned counter = %d, want 1", got)
+	}
+
+	n.SetPairBlocked(2, 1, false) // heal from the other side: same pair
+	send()
+	if *delivered != 2 {
+		t.Errorf("delivered = %d after heal, want 2", *delivered)
+	}
+}
+
+func TestAccessLinkSetRate(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	l := NewAccessLink(e, AccessLinkConfig{UpRate: 1000, DownRate: 1000})
+
+	var deliveredAt []time.Duration
+	send := func() {
+		l.SendUp(&Packet{Size: 1000}, func(*Packet) { deliveredAt = append(deliveredAt, e.Now()) })
+	}
+	send() // 1000 B at 1000 B/s = 1 s
+	e.Run()
+	if deliveredAt[0] != time.Second {
+		t.Fatalf("first packet delivered at %v, want 1s", deliveredAt[0])
+	}
+
+	l.SetRate(2000, 0) // downstream keeps its rate
+	send()             // 0.5 s from now
+	e.Run()
+	if got := deliveredAt[1] - deliveredAt[0]; got != 500*time.Millisecond {
+		t.Errorf("packet after SetRate took %v, want 500ms", got)
+	}
+
+	// The packet already on the wire finishes at the old rate; only queued
+	// and later packets see the new one.
+	send() // starts serializing at 2000 B/s → 0.5 s
+	l.SetRate(500, 0)
+	send() // queued: serializes after the first, at 500 B/s → +2 s
+	e.Run()
+	if got := deliveredAt[2] - deliveredAt[1]; got != 500*time.Millisecond {
+		t.Errorf("in-flight packet took %v, want 500ms at its original rate", got)
+	}
+	if got := deliveredAt[3] - deliveredAt[2]; got != 2*time.Second {
+		t.Errorf("queued packet took %v, want 2s at the new rate", got)
+	}
+}
+
+func TestWirelessChannelSetRate(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	c := NewWirelessChannel(e, WirelessConfig{Rate: 1000})
+
+	var at time.Duration
+	c.SendUp(&Packet{Size: 500}, func(*Packet) { at = e.Now() })
+	e.Run()
+	if at != 500*time.Millisecond {
+		t.Fatalf("packet delivered at %v, want 500ms", at)
+	}
+
+	c.SetRate(250)
+	start := e.Now()
+	c.SendDown(&Packet{Size: 500}, func(*Packet) { at = e.Now() })
+	e.Run()
+	if got := at - start; got != 2*time.Second {
+		t.Errorf("packet after SetRate took %v, want 2s", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRate(0) did not panic")
+		}
+	}()
+	c.SetRate(0)
+}

@@ -110,6 +110,11 @@ func (x *transmitter) drop(pkt *Packet, reason DropReason) {
 	}
 }
 
+// setRate changes the serialization rate. The packet currently on the wire
+// (if any) finishes at the old rate; queued and future packets serialize at
+// the new one — how a real shaper or a renegotiated link behaves.
+func (x *transmitter) setRate(r Rate) { x.rate = r }
+
 // inFlight reports packets queued or being serialized.
 func (x *transmitter) inFlight() int {
 	n := len(x.queue)

@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"path/filepath"
+	"os"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the loader: it must reject or accept,
+// never panic. Accepted documents must survive the clone/override round-trip
+// that sweeps and series are built on. CI runs this with -fuzztime=10s.
+func FuzzLoad(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	for _, path := range files {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"wp2p.scenario.v1","name":"x","duration":"1m"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"peers":[{"link":{"kind":"wireless","ber":1e308}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(data)
+		if err != nil {
+			return
+		}
+		// A loaded spec must survive Variant's clone → re-marshal → re-Load
+		// cycle with no overrides applied.
+		if _, err := s.Variant(nil); err != nil {
+			t.Fatalf("valid spec failed the no-op Variant round-trip: %v", err)
+		}
+	})
+}

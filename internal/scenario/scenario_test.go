@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/wp2p/wp2p/internal/experiments"
+	"github.com/wp2p/wp2p/internal/runner"
+)
+
+const examplesDir = "../../examples/scenarios"
+
+// testScale keeps the bundled scenarios CI-sized (floors bound the shrink).
+const testScale = 0.05
+
+func loadExample(t *testing.T, name string) *Spec {
+	t.Helper()
+	s, err := LoadFile(filepath.Join(examplesDir, name))
+	if err != nil {
+		t.Fatalf("LoadFile(%s): %v", name, err)
+	}
+	return s
+}
+
+// TestFig4aEquivalence is the engine's ground-truth check: the declarative
+// fig4a scenario must reproduce the hardcoded experiment's series values
+// bit-for-bit at the same scale and seed, proving the compiler builds the
+// same world in the same order.
+func TestFig4aEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fig4a sweeps")
+	}
+	spec := loadExample(t, "fig4a.json")
+	got, err := Run(spec, testScale)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := experiments.Fig4aServerMobility(experiments.Fig4aConfig{Scale: testScale})
+
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count = %d, want %d", len(got.Series), len(want.Series))
+	}
+	for si := range want.Series {
+		g, w := got.Series[si], want.Series[si]
+		if len(g.X) != len(w.X) || len(g.Y) != len(w.Y) {
+			t.Fatalf("series %d: got %d/%d points, want %d/%d", si, len(g.X), len(g.Y), len(w.X), len(w.Y))
+		}
+		for i := range w.X {
+			if g.X[i] != w.X[i] {
+				t.Errorf("series %d x[%d] = %v, want %v", si, i, g.X[i], w.X[i])
+			}
+			// Exact equality is the point: same construction order, same
+			// RNG draws, same floats.
+			if g.Y[i] != w.Y[i] {
+				t.Errorf("series %d (%s) y[%d] = %v, want %v", si, g.Label, i, g.Y[i], w.Y[i])
+			}
+		}
+	}
+}
+
+// TestBundledScenariosDeterministic runs every bundled scenario twice —
+// fully sequential and on a 4-worker pool — and requires byte-identical
+// wp2p.result.v1 exports: the determinism contract -parallel advertises.
+func TestBundledScenariosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole example library twice")
+	}
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example scenarios found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := LoadFile(path)
+			if err != nil {
+				t.Fatalf("LoadFile: %v", err)
+			}
+			export := func(workers int) []byte {
+				prev := runner.SetWorkers(workers)
+				defer runner.SetWorkers(prev)
+				res, err := Run(s, testScale)
+				if err != nil {
+					t.Fatalf("Run (workers=%d): %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := res.WriteJSON(&buf); err != nil {
+					t.Fatalf("WriteJSON: %v", err)
+				}
+				return buf.Bytes()
+			}
+			seq := export(1)
+			par := export(4)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("parallel export differs from sequential (%d vs %d bytes)", len(par), len(seq))
+			}
+		})
+	}
+}
+
+// TestEventsShapeResults spot-checks that the fault schedule actually
+// changes outcomes: longer partitions must not help the leech.
+func TestEventsShapeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	s := loadExample(t, "partition.json")
+	res, err := Run(s, testScale)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	y := res.Series[0].Y
+	if len(y) != 3 {
+		t.Fatalf("got %d sweep points, want 3", len(y))
+	}
+	if !(y[0] > y[1] && y[1] > y[2]) {
+		t.Errorf("throughput should fall with partition length, got %v", y)
+	}
+	if y[2] <= 0 {
+		t.Errorf("leech should still make progress outside the partition, got %v", y[2])
+	}
+}
+
+// TestSampledSeriesMonotone checks the sampled mode: cumulative download
+// never decreases and the axis matches the sample grid.
+func TestSampledSeriesMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	s := loadExample(t, "ber-ramp.json")
+	res, err := Run(s, testScale)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ser := res.Series[0]
+	if len(ser.X) == 0 || len(ser.X) != len(ser.Y) {
+		t.Fatalf("bad series shape: %d x, %d y", len(ser.X), len(ser.Y))
+	}
+	for i := 1; i < len(ser.Y); i++ {
+		if ser.Y[i] < ser.Y[i-1] {
+			t.Errorf("downloaded_mb decreased at point %d: %v -> %v", i, ser.Y[i-1], ser.Y[i])
+		}
+	}
+	if ser.X[0] <= 0 {
+		t.Errorf("first sample time must be positive, got %v", ser.X[0])
+	}
+}
+
+// TestValidateExamples keeps the bundled library loadable — the same check
+// CI runs via tools/validate-scenario.
+func TestValidateExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example scenarios found: %v", err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		if _, err := Load(data); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+		}
+	}
+}

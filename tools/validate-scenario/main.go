@@ -1,0 +1,41 @@
+// Command validate-scenario checks that scenario files are loadable
+// wp2p.scenario.v1 documents. CI runs it over examples/scenarios/*.json so
+// the bundled library can never drift from the loader.
+//
+// Usage:
+//
+//	go run ./tools/validate-scenario examples/scenarios/*.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/wp2p/wp2p/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-scenario file.json ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		s, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate-scenario: %v\n", err)
+			exit = 1
+			continue
+		}
+		mode := "single"
+		switch {
+		case s.Measure.Sample > 0:
+			mode = "sampled"
+		case s.Sweep != nil:
+			mode = fmt.Sprintf("sweep ×%d", len(s.Sweep.Values))
+		}
+		fmt.Printf("%s: ok — %s (%s, %s, %d peer groups)\n",
+			path, s.Name, s.Workload.Protocol, mode, len(s.Peers))
+	}
+	os.Exit(exit)
+}
