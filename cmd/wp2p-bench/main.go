@@ -1,0 +1,194 @@
+// Command wp2p-bench runs the repo's canonical macro-benchmark workloads —
+// full experiment and scenario runs, not microbenchmarks — and appends the
+// timings to a wp2p.bench.v1 JSON file (see internal/bench). The committed
+// BENCH_*.json files form the repo's performance trajectory; CI diffs
+// entries with tools/bench-compare to catch regressions.
+//
+// Usage:
+//
+//	wp2p-bench -label pr4-baseline [-out BENCH_PR4.json] [-scale 0.05] \
+//	    [-workloads fig2a,fig4a,flashcrowd]
+//
+// Workloads:
+//
+//	fig2a      bi- vs uni-directional TCP over the lossy wireless leg
+//	fig4a      fixed-peer throughput under server mobility (BT swarm + handoffs)
+//	flashcrowd declarative flash-crowd scenario (examples/scenarios)
+//
+// Each workload is deterministic for a given scale, so wall-clock deltas
+// between entries measure the code, not the inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bench"
+	"github.com/wp2p/wp2p/internal/experiments"
+	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/scenario"
+)
+
+// workload is one macro-benchmark: run executes a full experiment and
+// returns the result whose Stats carry the engine event counts.
+type workload struct {
+	name string
+	run  func(scale float64) (*experiments.Result, error)
+}
+
+func workloads(flashCrowdPath string) []workload {
+	return []workload{
+		{name: "fig2a", run: func(scale float64) (*experiments.Result, error) {
+			return experiments.Fig2aBiVsUniTCP(experiments.Fig2aConfig{
+				Scale: scale, Runs: 2, BERs: []float64{0, 1e-5, 2e-5},
+			}), nil
+		}},
+		{name: "fig4a", run: func(scale float64) (*experiments.Result, error) {
+			return experiments.Fig4aServerMobility(experiments.Fig4aConfig{
+				Scale:   scale,
+				Periods: []time.Duration{0, time.Minute, 30 * time.Second},
+			}), nil
+		}},
+		{name: "flashcrowd", run: func(scale float64) (*experiments.Result, error) {
+			spec, err := scenario.LoadFile(flashCrowdPath)
+			if err != nil {
+				return nil, err
+			}
+			return scenario.Run(spec, scale)
+		}},
+	}
+}
+
+// eventsFired extracts the sim.events_fired aggregate from a result.
+func eventsFired(res *experiments.Result) int64 {
+	if res == nil || res.Stats == nil {
+		return 0
+	}
+	for _, c := range res.Stats.Counters {
+		if c.Name == "sim.events_fired" {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func main() {
+	label := flag.String("label", "", "entry label (required), e.g. pr4-baseline")
+	out := flag.String("out", "BENCH_PR4.json", "bench file to append to (created if missing)")
+	scale := flag.Float64("scale", 0.05, "experiment scale factor")
+	names := flag.String("workloads", "fig2a,fig4a,flashcrowd", "comma-separated workloads to run")
+	flashCrowd := flag.String("flash-crowd", "examples/scenarios/flash-crowd.json", "flash-crowd scenario spec path")
+	benchtime := flag.Int("benchtime", 0, "fixed iteration count (0 = auto, ~1s per workload)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "wp2p-bench: -label is required")
+		os.Exit(2)
+	}
+
+	// Pin the sequential runner path so entries are comparable across
+	// machines and with the figure-benchmark history (see bench_test.go).
+	runner.SetWorkers(1)
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+
+	file := &bench.File{}
+	if prev, err := bench.Load(*out); err == nil {
+		file = prev
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "wp2p-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if file.Find(*label) != nil {
+		fmt.Fprintf(os.Stderr, "wp2p-bench: label %q already recorded in %s\n", *label, *out)
+		os.Exit(1)
+	}
+
+	entry := bench.Entry{Label: *label, GoVersion: runtime.Version(), Scale: *scale}
+	for _, w := range workloads(*flashCrowd) {
+		if !want[w.name] {
+			continue
+		}
+		delete(want, w.name)
+		var lastRes *experiments.Result
+		var runErr error
+		bfn := func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := w.run(*scale)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				lastRes = res
+			}
+		}
+		var r testing.BenchmarkResult
+		if *benchtime > 0 {
+			// Fixed iteration count: measure by hand. Overriding b.N inside
+			// testing.Benchmark would fight its calibration loop, which keeps
+			// rerunning until the *accumulated* iterations fill ~1s.
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for i := 0; i < *benchtime && runErr == nil; i++ {
+				res, err := w.run(*scale)
+				if err != nil {
+					runErr = err
+					break
+				}
+				lastRes = res
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			r = testing.BenchmarkResult{
+				N:         *benchtime,
+				T:         elapsed,
+				MemAllocs: after.Mallocs - before.Mallocs,
+				MemBytes:  after.TotalAlloc - before.TotalAlloc,
+			}
+		} else {
+			r = testing.Benchmark(bfn)
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-bench: %s: %v\n", w.name, runErr)
+			os.Exit(1)
+		}
+		wl := bench.Workload{
+			Name:        w.name,
+			Iters:       r.N,
+			WallNsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			EventsPerOp: eventsFired(lastRes),
+		}
+		if wl.WallNsPerOp > 0 {
+			wl.EventsPerSec = float64(wl.EventsPerOp) / (float64(wl.WallNsPerOp) / 1e9)
+		}
+		entry.Workloads = append(entry.Workloads, wl)
+		fmt.Printf("%-12s %12d ns/op %10d allocs/op %12d B/op %10d events/op %14.0f events/s\n",
+			w.name, wl.WallNsPerOp, wl.AllocsPerOp, wl.BytesPerOp, wl.EventsPerOp, wl.EventsPerSec)
+	}
+	if len(want) > 0 {
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "wp2p-bench: unknown workload %q\n", n)
+		}
+		os.Exit(2)
+	}
+
+	file.Entries = append(file.Entries, entry)
+	if err := file.Write(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "wp2p-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded entry %q in %s\n", *label, *out)
+}

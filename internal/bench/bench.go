@@ -1,0 +1,103 @@
+// Package bench defines the wp2p.bench.v1 JSON format: the repo's
+// performance trajectory. cmd/wp2p-bench appends one labelled entry per
+// measurement run (a PR's "before" and "after", or a nightly), and
+// tools/bench-compare diffs two entries to gate regressions in CI.
+//
+// The file is append-only by convention: entries record history, so a PR
+// that optimizes a hot path adds a new entry instead of rewriting the old
+// one — the trajectory is the point.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion identifies the JSON layout this package reads and writes.
+const SchemaVersion = "wp2p.bench.v1"
+
+// File is one BENCH_*.json: an ordered history of measurement entries.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one labelled measurement run over a set of workloads.
+type Entry struct {
+	// Label names the tree state measured, e.g. "pr4-baseline" or "pr4".
+	Label string `json:"label"`
+	// GoVersion records the toolchain (runtime.Version()) the numbers came
+	// from; cross-toolchain comparisons are advisory only.
+	GoVersion string `json:"go"`
+	// Scale is the -scale the workloads ran at. Entries are only comparable
+	// at equal scale.
+	Scale     float64    `json:"scale"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one macro-benchmark measurement: a full experiment or
+// scenario run treated as a single benchmark op.
+type Workload struct {
+	Name        string `json:"name"`
+	Iters       int    `json:"iters"`           // benchmark iterations measured
+	WallNsPerOp int64  `json:"wall_ns_per_op"`  // wall time per op
+	AllocsPerOp int64  `json:"allocs_per_op"`   // heap allocations per op
+	BytesPerOp  int64  `json:"bytes_per_op"`    // heap bytes per op
+	EventsPerOp int64  `json:"events_per_op"`   // sim events fired per op
+	EventsPerSec float64 `json:"events_per_sec"` // events/op ÷ wall seconds/op
+}
+
+// Find returns the entry with the given label, or nil.
+func (f *File) Find(label string) *Entry {
+	for i := range f.Entries {
+		if f.Entries[i].Label == label {
+			return &f.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Last returns the most recent entry, or nil for an empty file.
+func (f *File) Last() *Entry {
+	if len(f.Entries) == 0 {
+		return nil
+	}
+	return &f.Entries[len(f.Entries)-1]
+}
+
+// Workload returns the named workload in the entry, or nil.
+func (e *Entry) Workload(name string) *Workload {
+	for i := range e.Workloads {
+		if e.Workloads[i].Name == name {
+			return &e.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a bench file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Write writes the file as indented JSON.
+func (f *File) Write(path string) error {
+	f.Schema = SchemaVersion
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

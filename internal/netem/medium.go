@@ -9,10 +9,12 @@ import (
 // Medium carries packets between attached hosts and the routing cloud.
 // SendUp moves a packet from the host toward the cloud; SendDown moves a
 // packet from the cloud toward the host. A medium may be shared by several
-// hosts (wireless channel) or dedicated to one (access link).
+// hosts (wireless channel) or dedicated to one (access link). The deliver
+// continuation is pre-bound by the caller (the Network for up, the Iface for
+// down), so a hop schedules no per-packet closure.
 type Medium interface {
-	SendUp(pkt *Packet, deliver func(*Packet))
-	SendDown(pkt *Packet, deliver func(*Packet))
+	SendUp(pkt *Packet, deliver Deliver)
+	SendDown(pkt *Packet, deliver Deliver)
 }
 
 // AccessLink is a full-duplex wired access link (e.g. cable or DSL): the
@@ -53,12 +55,12 @@ func NewAccessLink(engine *sim.Engine, cfg AccessLinkConfig) *AccessLink {
 }
 
 // SendUp transmits toward the cloud at the upstream rate.
-func (l *AccessLink) SendUp(pkt *Packet, deliver func(*Packet)) {
+func (l *AccessLink) SendUp(pkt *Packet, deliver Deliver) {
 	l.up.enqueue(pkt, deliver)
 }
 
 // SendDown transmits toward the host at the downstream rate.
-func (l *AccessLink) SendDown(pkt *Packet, deliver func(*Packet)) {
+func (l *AccessLink) SendDown(pkt *Packet, deliver Deliver) {
 	l.down.enqueue(pkt, deliver)
 }
 
@@ -143,13 +145,13 @@ func NewWirelessChannel(engine *sim.Engine, cfg WirelessConfig) *WirelessChannel
 
 // SendUp transmits a station's packet toward the cloud over the shared
 // channel.
-func (c *WirelessChannel) SendUp(pkt *Packet, deliver func(*Packet)) {
+func (c *WirelessChannel) SendUp(pkt *Packet, deliver Deliver) {
 	c.x.enqueue(pkt, deliver)
 }
 
 // SendDown transmits a packet from the cloud toward a station over the same
 // shared channel.
-func (c *WirelessChannel) SendDown(pkt *Packet, deliver func(*Packet)) {
+func (c *WirelessChannel) SendDown(pkt *Packet, deliver Deliver) {
 	c.x.enqueue(pkt, deliver)
 }
 

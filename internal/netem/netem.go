@@ -6,11 +6,22 @@
 // drop-tail queues, propagation delay, and per-packet corruption are all
 // explicit, because the paper's findings (piggybacked-ACK loss, DUPACK
 // overload, upload/download self-contention) live at that level.
+//
+// # Memory management
+//
+// The steady-state data path is allocation-free: Packet structs come from a
+// per-Network free-list (see PacketPool), delivery continuations are bound
+// once at link/network construction, and the per-hop scheduling reuses
+// pooled continuation structs. The ownership rules are in DESIGN.md §12;
+// the short form: Send transfers packet ownership to the data path, which
+// recycles the struct at exactly one of its terminal points (handler
+// return, or a drop after observers ran). Handlers, filters, and drop
+// observers must not retain a *Packet past their call.
 package netem
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 	"time"
 )
 
@@ -20,7 +31,15 @@ type IP uint32
 
 // String formats the address in dotted-quad notation.
 func (ip IP) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+	b := make([]byte, 0, 15)
+	b = strconv.AppendUint(b, uint64(byte(ip>>24)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>16)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>8)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip)), 10)
+	return string(b)
 }
 
 // Addr is a transport endpoint.
@@ -30,7 +49,13 @@ type Addr struct {
 }
 
 // String formats the endpoint as ip:port.
-func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+func (a Addr) String() string {
+	b := make([]byte, 0, 21)
+	b = append(b, a.IP.String()...)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(a.Port), 10)
+	return string(b)
+}
 
 // Rate is a bandwidth in bytes per second.
 type Rate int64
@@ -47,33 +72,84 @@ func Kbps(n int64) Rate { return Rate(n * 1000 / 8) }
 // Mbps returns a rate of n megabits per second.
 func Mbps(n int64) Rate { return Rate(n * 1000 * 1000 / 8) }
 
-// String formats the rate in KB/s.
-func (r Rate) String() string { return fmt.Sprintf("%.1fKBps", float64(r)/1000) }
+// String formats the rate in KB/s with one decimal, matching the
+// fmt %.1f rendering the repo's figures have always used, but via strconv
+// so formatting a rate in a trace line costs one small allocation instead
+// of a fmt state machine.
+func (r Rate) String() string {
+	b := make([]byte, 0, 24)
+	b = strconv.AppendFloat(b, float64(r)/1000, 'f', 1, 64)
+	b = append(b, "KBps"...)
+	return string(b)
+}
 
-// txTime returns the serialization time of size bytes at rate r.
+// txTime returns the serialization time of size bytes at rate r: exactly
+// ⌊size·1e9/r⌋ nanoseconds, in pure integer arithmetic. (The previous
+// float64 round-trip landed 1 ns short on ~0.02% of realistic size/rate
+// pairs; the golden test in rate_golden_test.go pins the exact values.)
 func (r Rate) txTime(size int) time.Duration {
-	if r <= 0 {
+	if r <= 0 || size <= 0 {
 		return 0
 	}
-	return time.Duration(float64(size) / float64(r) * float64(time.Second))
+	s := int64(size)
+	if s > math.MaxInt64/int64(time.Second) {
+		// Overflow guard: fall back to float math for absurd sizes (>9.2 GB
+		// in one packet — unreachable for real workloads).
+		return time.Duration(float64(size) / float64(r) * float64(time.Second))
+	}
+	return time.Duration(s * int64(time.Second) / int64(r))
 }
 
 // Packet is a unit of transmission. Size is the on-the-wire length in bytes
 // (headers included) and is what serialization time and corruption
 // probability are computed from. Payload carries the protocol message.
+//
+// Packets handed to Iface.Send are owned by the data path until it delivers
+// or drops them, after which the struct is recycled into its origin
+// PacketPool and must not be touched. The data path recycles the Packet
+// struct only — payload lifetime is the sender's protocol contract (tcp
+// releases Segments when the receiving stack finishes with them).
 type Packet struct {
 	Src, Dst Addr
 	Size     int
 	Payload  any
+
+	pool   *PacketPool // origin free-list; nil for hand-built packets
+	pooled bool        // currently parked in the free-list (double-free guard)
 }
 
-// Clone returns a shallow copy of the packet.
+// Clone returns a shallow copy of the packet, drawn from the same pool when
+// the original is pooled. The copy shares the Payload pointer: a filter may
+// forward the clone and let the data path recycle the original (struct
+// recycling never touches the payload), but at most one of the two may
+// travel to a handler that consumes pooled payloads.
 func (p *Packet) Clone() *Packet {
-	c := *p
-	return &c
+	var c *Packet
+	if p.pool != nil {
+		c = p.pool.Get()
+	} else {
+		c = &Packet{}
+	}
+	pool := c.pool
+	*c = *p
+	c.pool = pool
+	c.pooled = false
+	return c
 }
 
-// Handler consumes packets delivered to an interface.
+// Release returns the packet to its origin pool; packets built by hand (no
+// pool) are left to the garbage collector. The data path calls this at its
+// terminal points; model code only needs it when consuming a packet outside
+// the normal delivery flow.
+func (p *Packet) Release() {
+	if p.pool != nil {
+		p.pool.put(p)
+	}
+}
+
+// Handler consumes packets delivered to an interface. The packet is valid
+// only for the duration of the call: the interface recycles it when
+// HandlePacket returns.
 type Handler interface {
 	HandlePacket(pkt *Packet)
 }
@@ -84,20 +160,42 @@ type HandlerFunc func(pkt *Packet)
 // HandlePacket calls f(pkt).
 func (f HandlerFunc) HandlePacket(pkt *Packet) { f(pkt) }
 
-// Filter inspects a packet about to traverse an interface and returns the
-// packets to forward in its place: the same packet (pass), nil/empty (drop),
-// or several (e.g. splitting a piggybacked ACK into a pure ACK plus data).
-// This is the hook wP2P's Age-based Manipulation attaches to, mirroring the
-// paper's Netfilter module.
+// Deliver consumes a packet handed over by a Medium or the routing core —
+// the continuation of one transmission hop. Implementations are bound once
+// at construction (the Network routes cloud-bound packets, an Iface receives
+// host-bound ones), so handing a packet to the next hop allocates nothing.
+type Deliver interface {
+	Deliver(pkt *Packet)
+}
+
+// DeliverFunc adapts a function to the Deliver interface (tests and ad-hoc
+// plumbing; the hot path uses pre-bound receivers).
+type DeliverFunc func(pkt *Packet)
+
+// Deliver calls f(pkt).
+func (f DeliverFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// Filter inspects a packet about to traverse an interface and appends the
+// packets to forward in its place to out, returning the extended slice:
+// append(out, pkt) passes the packet through, returning out unchanged drops
+// it, and appending several splits it (e.g. a piggybacked ACK into a pure
+// ACK plus data). This is the hook wP2P's Age-based Manipulation attaches
+// to, mirroring the paper's Netfilter module.
+//
+// The append-style contract keeps the per-packet filter walk allocation-free:
+// out's backing array is interface-owned scratch, reused across packets, so
+// filters must not retain the slice. A packet the filter does not forward is
+// recycled by the interface (struct only — emit a Clone to keep using its
+// payload); a filter must never Release packets itself.
 type Filter interface {
-	FilterPacket(pkt *Packet) []*Packet
+	FilterPacket(pkt *Packet, out []*Packet) []*Packet
 }
 
 // FilterFunc adapts a function to the Filter interface.
-type FilterFunc func(pkt *Packet) []*Packet
+type FilterFunc func(pkt *Packet, out []*Packet) []*Packet
 
-// FilterPacket calls f(pkt).
-func (f FilterFunc) FilterPacket(pkt *Packet) []*Packet { return f(pkt) }
+// FilterPacket calls f(pkt, out).
+func (f FilterFunc) FilterPacket(pkt *Packet, out []*Packet) []*Packet { return f(pkt, out) }
 
 // PacketErrorRate converts a bit error rate into the corruption probability
 // of a packet of size bytes: PER = 1 − (1 − BER)^(8·size).
@@ -138,7 +236,7 @@ func (r DropReason) String() string {
 	case DropPartitioned:
 		return "partitioned"
 	default:
-		return fmt.Sprintf("DropReason(%d)", int(r))
+		return "DropReason(" + strconv.Itoa(int(r)) + ")"
 	}
 }
 

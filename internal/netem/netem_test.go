@@ -112,7 +112,7 @@ func TestTransmitterSerialization(t *testing.T) {
 	x := &transmitter{engine: e, rate: 1000, delay: 10 * time.Millisecond, queueCap: 10}
 	x.bindStats("netem.test")
 	var deliveries []time.Duration
-	deliver := func(*Packet) { deliveries = append(deliveries, e.Now()) }
+	deliver := DeliverFunc(func(*Packet) { deliveries = append(deliveries, e.Now()) })
 	// Two 500-byte packets: first delivered at 500ms + 10ms, second must wait
 	// for the first's serialization: 1000ms + 10ms.
 	x.enqueue(&Packet{Size: 500}, deliver)
@@ -134,7 +134,7 @@ func TestTransmitterDropTail(t *testing.T) {
 	var dropped []DropReason
 	x.dropObs = append(x.dropObs, func(_ *Packet, r DropReason) { dropped = append(dropped, r) })
 	delivered := 0
-	deliver := func(*Packet) { delivered++ }
+	deliver := DeliverFunc(func(*Packet) { delivered++ })
 	// One in service + 2 queued fit; the 4th overflows.
 	for i := 0; i < 4; i++ {
 		x.enqueue(&Packet{Size: 100}, deliver)
@@ -157,7 +157,7 @@ func TestWirelessChannelCorruption(t *testing.T) {
 	const n = 2000
 	delivered := 0
 	for i := 0; i < n; i++ {
-		ch.SendUp(&Packet{Size: 1500}, func(*Packet) { delivered++ })
+		ch.SendUp(&Packet{Size: 1500}, DeliverFunc(func(*Packet) { delivered++ }))
 	}
 	e.Run()
 	per := PacketErrorRate(1e-4, 1500) // ≈ 0.70
@@ -177,8 +177,8 @@ func TestWirelessChannelSharedHalfDuplex(t *testing.T) {
 	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000})
 	done := 0
 	for i := 0; i < 10; i++ {
-		ch.SendUp(&Packet{Size: 1000}, func(*Packet) { done++ })
-		ch.SendDown(&Packet{Size: 1000}, func(*Packet) { done++ })
+		ch.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { done++ }))
+		ch.SendDown(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { done++ }))
 	}
 	e.Run()
 	if done != 20 {
@@ -196,8 +196,8 @@ func TestAccessLinkFullDuplex(t *testing.T) {
 	l := NewAccessLink(e, AccessLinkConfig{UpRate: 1000, DownRate: 1000})
 	done := 0
 	for i := 0; i < 10; i++ {
-		l.SendUp(&Packet{Size: 1000}, func(*Packet) { done++ })
-		l.SendDown(&Packet{Size: 1000}, func(*Packet) { done++ })
+		l.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { done++ }))
+		l.SendDown(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { done++ }))
 	}
 	e.Run()
 	if done != 20 {
@@ -212,8 +212,8 @@ func TestAccessLinkAsymmetricRates(t *testing.T) {
 	e := sim.NewEngine()
 	l := NewAccessLink(e, AccessLinkConfig{UpRate: 100, DownRate: 1000})
 	var upAt, downAt time.Duration
-	l.SendUp(&Packet{Size: 100}, func(*Packet) { upAt = e.Now() })
-	l.SendDown(&Packet{Size: 100}, func(*Packet) { downAt = e.Now() })
+	l.SendUp(&Packet{Size: 100}, DeliverFunc(func(*Packet) { upAt = e.Now() }))
+	l.SendDown(&Packet{Size: 100}, DeliverFunc(func(*Packet) { downAt = e.Now() }))
 	e.Run()
 	if upAt != time.Second {
 		t.Errorf("upstream delivery at %v, want 1s", upAt)
@@ -227,7 +227,7 @@ func TestWirelessInFlight(t *testing.T) {
 	e := sim.NewEngine()
 	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000})
 	for i := 0; i < 5; i++ {
-		ch.SendUp(&Packet{Size: 1000}, func(*Packet) {})
+		ch.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) {}))
 	}
 	if got := ch.InFlight(); got != 5 {
 		t.Errorf("InFlight = %d, want 5", got)
@@ -338,11 +338,11 @@ func TestAttachDuplicatePanics(t *testing.T) {
 func TestEgressFilterDrop(t *testing.T) {
 	e := sim.NewEngine()
 	_, ia, _, _, hb := newTestNet(e)
-	ia.AddEgressFilter(FilterFunc(func(p *Packet) []*Packet {
+	ia.AddEgressFilter(FilterFunc(func(p *Packet, out []*Packet) []*Packet {
 		if p.Payload == "secret" {
-			return nil
+			return out
 		}
-		return []*Packet{p}
+		return append(out, p)
 	}))
 	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100, Payload: "secret"})
 	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100, Payload: "public"})
@@ -356,11 +356,11 @@ func TestEgressFilterSplit(t *testing.T) {
 	// A filter may replace one packet with several — the AM decoupling shape.
 	e := sim.NewEngine()
 	_, ia, _, _, hb := newTestNet(e)
-	ia.AddEgressFilter(FilterFunc(func(p *Packet) []*Packet {
+	ia.AddEgressFilter(FilterFunc(func(p *Packet, out []*Packet) []*Packet {
 		ack := p.Clone()
 		ack.Size = 40
 		ack.Payload = "ack"
-		return []*Packet{ack, p}
+		return append(out, ack, p)
 	}))
 	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 1500, Payload: "data"})
 	e.Run()
@@ -379,9 +379,9 @@ func TestIngressFilter(t *testing.T) {
 	seen := 0
 	// Install on B's iface.
 	ibIface := ib
-	ibIface.AddIngressFilter(FilterFunc(func(p *Packet) []*Packet {
+	ibIface.AddIngressFilter(FilterFunc(func(p *Packet, out []*Packet) []*Packet {
 		seen++
-		return []*Packet{p}
+		return append(out, p)
 	}))
 	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100})
 	e.Run()
@@ -394,13 +394,13 @@ func TestFilterChainOrder(t *testing.T) {
 	e := sim.NewEngine()
 	_, ia, _, _, hb := newTestNet(e)
 	var order []string
-	ia.AddEgressFilter(FilterFunc(func(p *Packet) []*Packet {
+	ia.AddEgressFilter(FilterFunc(func(p *Packet, out []*Packet) []*Packet {
 		order = append(order, "first")
-		return []*Packet{p}
+		return append(out, p)
 	}))
-	ia.AddEgressFilter(FilterFunc(func(p *Packet) []*Packet {
+	ia.AddEgressFilter(FilterFunc(func(p *Packet, out []*Packet) []*Packet {
 		order = append(order, "second")
-		return []*Packet{p}
+		return append(out, p)
 	}))
 	ia.Send(&Packet{Dst: Addr{IP: 2}, Size: 100})
 	e.Run()
@@ -455,16 +455,16 @@ func TestOnDropObserversChain(t *testing.T) {
 	ch.OnDrop(func(*Packet, DropReason) { second++ })
 	// Queue cap 1: one in service + one queued fit, the third overflows.
 	for i := 0; i < 3; i++ {
-		ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+		ch.SendUp(&Packet{Size: 100}, DeliverFunc(func(*Packet) {}))
 	}
 	e.Run()
 	if first != 1 || second != 1 {
 		t.Errorf("observers saw %d/%d drops, want 1/1", first, second)
 	}
 	ch.OnDrop(nil)
-	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
-	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
-	ch.SendUp(&Packet{Size: 100}, func(*Packet) {})
+	ch.SendUp(&Packet{Size: 100}, DeliverFunc(func(*Packet) {}))
+	ch.SendUp(&Packet{Size: 100}, DeliverFunc(func(*Packet) {}))
+	ch.SendUp(&Packet{Size: 100}, DeliverFunc(func(*Packet) {}))
 	e.Run()
 	if first != 1 || second != 1 {
 		t.Errorf("OnDrop(nil) did not clear observers: %d/%d", first, second)

@@ -22,9 +22,34 @@ type Network struct {
 	// dropObs observe every blackholed packet, in registration order.
 	dropObs []func(pkt *Packet, reason DropReason)
 
+	pool *PacketPool
+
+	// gen stamps routeCache entries; any topology change (attach, detach,
+	// rebind, partition) bumps it, invalidating the whole cache in O(1).
+	// It starts at 1 so the zero-valued cache never matches.
+	gen        uint32
+	routeCache [routeCacheSize]routeEntry
+
+	// hopFree recycles the cloud-crossing continuations scheduled by Deliver,
+	// so routing a packet across the core allocates nothing in steady state.
+	hopFree *cloudHop
+
 	regRouted      *stats.Counter
 	regNoRoute     *stats.Counter
 	regPartitioned *stats.Counter
+}
+
+// routeCacheSize is the number of direct-mapped route-cache slots, indexed
+// by the low byte of the destination IP. Hosts get sequential addresses from
+// the allocator, so collisions are rare below 256 hosts and harmless above.
+const routeCacheSize = 256
+
+// routeEntry caches one ifaces lookup; valid only while gen matches the
+// network's current generation.
+type routeEntry struct {
+	ip  IP
+	gen uint32
+	ifc *Iface
 }
 
 // ipPair is an unordered address pair.
@@ -57,12 +82,14 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		cfg.CloudDelay = DefaultCloudDelay
 	}
 	return &Network{
-		engine:     engine,
-		ifaces:     make(map[IP]*Iface),
-		cloudDelay: cfg.CloudDelay,
-		jitter:     cfg.Jitter,
+		engine:         engine,
+		ifaces:         make(map[IP]*Iface),
+		cloudDelay:     cfg.CloudDelay,
+		jitter:         cfg.Jitter,
 		pairDelay:      make(map[ipPair]time.Duration),
 		blocked:        make(map[ipPair]bool),
+		pool:           newPacketPool(engine.Stats()),
+		gen:            1,
 		regRouted:      engine.Stats().Counter("netem.packets_routed"),
 		regNoRoute:     engine.Stats().Counter("netem.drops.no_route"),
 		regPartitioned: engine.Stats().Counter("netem.drops.partitioned"),
@@ -83,6 +110,7 @@ func (n *Network) SetPairDelay(a, b IP, d time.Duration) {
 // hosts' current addresses, so a handoff to a fresh address escapes the
 // partition — moving to a new access network would.
 func (n *Network) SetPairBlocked(a, b IP, blocked bool) {
+	n.gen++
 	if blocked {
 		n.blocked[pairOf(a, b)] = true
 		return
@@ -95,9 +123,11 @@ func (n *Network) PairBlocked(a, b IP) bool { return n.blocked[pairOf(a, b)] }
 
 // delayFor returns the core delay for one crossing.
 func (n *Network) delayFor(src, dst IP) time.Duration {
-	d, ok := n.pairDelay[pairOf(src, dst)]
-	if !ok {
-		d = n.cloudDelay
+	d := n.cloudDelay
+	if len(n.pairDelay) > 0 {
+		if pd, ok := n.pairDelay[pairOf(src, dst)]; ok {
+			d = pd
+		}
 	}
 	if n.jitter > 0 {
 		d += time.Duration(n.engine.Rand().Int63n(int64(n.jitter)))
@@ -107,6 +137,13 @@ func (n *Network) delayFor(src, dst IP) time.Duration {
 
 // Engine returns the simulation engine the network runs on.
 func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// NewPacket draws a zeroed packet from the network's free-list. See
+// PacketPool for the ownership contract.
+func (n *Network) NewPacket() *Packet { return n.pool.Get() }
+
+// Pool returns the network's packet free-list.
+func (n *Network) Pool() *PacketPool { return n.pool }
 
 // Iface is a host's attachment to the network. All of the host's traffic
 // enters and leaves through its interface; egress and ingress filters can
@@ -119,7 +156,17 @@ type Iface struct {
 	egress  []Filter
 	ingress []Filter
 	stats   Stats
+
+	// Reusable backing arrays for the filter walk, one pair per direction.
+	// Egress and ingress need separate scratch because a handler invoked from
+	// the ingress walk sends replies synchronously (tcp ACKs), re-entering
+	// the egress walk while ingress scratch is still live. Same-direction
+	// re-entry cannot happen: deliveries are always scheduled, never inline.
+	egScratch filterScratch
+	inScratch filterScratch
 }
+
+type filterScratch struct{ cur, next []*Packet }
 
 // Attach binds a new interface with address ip to the given access medium.
 // It panics if the address is already bound, which is always a scenario
@@ -133,6 +180,7 @@ func (n *Network) Attach(ip IP, medium Medium, handler Handler) *Iface {
 	}
 	ifc := &Iface{net: n, ip: ip, medium: medium, handler: handler}
 	n.ifaces[ip] = ifc
+	n.gen++
 	return ifc
 }
 
@@ -141,6 +189,7 @@ func (n *Network) Attach(ip IP, medium Medium, handler Handler) *Iface {
 func (n *Network) Detach(ifc *Iface) {
 	if n.ifaces[ifc.ip] == ifc {
 		delete(n.ifaces, ifc.ip)
+		n.gen++
 	}
 }
 
@@ -155,6 +204,7 @@ func (n *Network) Reattach(ifc *Iface) {
 		panic(fmt.Sprintf("netem: address %s already attached", ifc.ip))
 	}
 	n.ifaces[ifc.ip] = ifc
+	n.gen++
 }
 
 // Attached reports whether the interface is currently routable.
@@ -175,11 +225,30 @@ func (n *Network) Rebind(ifc *Iface, newIP IP) {
 	}
 	ifc.ip = newIP
 	n.ifaces[newIP] = ifc
+	n.gen++
+}
+
+// lookup resolves a destination address through the generation-stamped
+// route cache, falling back to the ifaces map on miss. Negative results are
+// not cached: a blackholed address stays a map lookup, which is fine — the
+// hot path is established flows between attached hosts.
+func (n *Network) lookup(ip IP) *Iface {
+	e := &n.routeCache[byte(ip)]
+	if e.gen == n.gen && e.ip == ip {
+		return e.ifc
+	}
+	ifc, ok := n.ifaces[ip]
+	if !ok {
+		return nil
+	}
+	*e = routeEntry{ip: ip, gen: n.gen, ifc: ifc}
+	return ifc
 }
 
 // OnDrop registers a network-wide observer for blackholed (no-route)
 // packets. Observers chain: each call appends, and every registered observer
 // sees every drop in registration order. Pass nil to remove all observers.
+// Observers must not retain the packet or synchronously send new ones.
 func (n *Network) OnDrop(fn func(pkt *Packet, reason DropReason)) {
 	if fn == nil {
 		n.dropObs = nil
@@ -203,6 +272,12 @@ func (n *Network) drop(pkt *Packet, reason DropReason) {
 // IP returns the interface's current address.
 func (ifc *Iface) IP() IP { return ifc.ip }
 
+// Network returns the network the interface is attached to.
+func (ifc *Iface) Network() *Network { return ifc.net }
+
+// NewPacket draws a zeroed packet from the interface's network pool.
+func (ifc *Iface) NewPacket() *Packet { return ifc.net.pool.Get() }
+
 // Stats returns the interface's egress counters.
 func (ifc *Iface) Stats() Stats { return ifc.stats }
 
@@ -217,64 +292,112 @@ func (ifc *Iface) AddEgressFilter(f Filter) { ifc.egress = append(ifc.egress, f)
 // access medium, before the handler sees them.
 func (ifc *Iface) AddIngressFilter(f Filter) { ifc.ingress = append(ifc.ingress, f) }
 
-// Send transmits a packet from this host. The packet's Src is stamped with
-// the interface's current address if unset.
+// Send transmits a packet from this host, transferring ownership to the data
+// path. The packet's Src is stamped with the interface's current address if
+// unset.
 func (ifc *Iface) Send(pkt *Packet) {
 	if pkt.Src.IP == 0 {
 		pkt.Src.IP = ifc.ip
 	}
-	for _, out := range applyFilters(ifc.egress, pkt) {
+	for _, out := range ifc.applyFilters(ifc.egress, pkt, &ifc.egScratch) {
 		ifc.stats.TxPackets++
 		ifc.stats.TxBytes += int64(out.Size)
-		ifc.medium.SendUp(out, ifc.net.routeFromCloud)
+		ifc.medium.SendUp(out, ifc.net)
 	}
 }
 
-// routeFromCloud receives a packet that has crossed the sender's access
-// medium and forwards it across the core to the destination's access medium.
-func (n *Network) routeFromCloud(pkt *Packet) {
-	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), func() {
-		if n.blocked[pairOf(pkt.Src.IP, pkt.Dst.IP)] {
-			n.drop(pkt, DropPartitioned)
-			return
-		}
-		dst, ok := n.ifaces[pkt.Dst.IP]
-		if !ok {
-			n.drop(pkt, DropNoRoute)
-			return
-		}
-		n.regRouted.Inc()
-		dst.medium.SendDown(pkt, dst.receive)
-	})
+// cloudHop is a pooled continuation for one cloud crossing: fn is bound once
+// when the struct is allocated, so Deliver schedules without a closure.
+type cloudHop struct {
+	n    *Network
+	pkt  *Packet
+	next *cloudHop
+	fn   func()
 }
 
-// receive applies ingress filters and hands surviving packets to the host.
-func (ifc *Iface) receive(pkt *Packet) {
+// Deliver receives a packet that has crossed the sender's access medium and
+// forwards it across the core to the destination's access medium. It is the
+// up-side continuation every medium gets from Iface.Send.
+func (n *Network) Deliver(pkt *Packet) {
+	h := n.hopFree
+	if h != nil {
+		n.hopFree = h.next
+	} else {
+		h = &cloudHop{n: n}
+		h.fn = h.run
+	}
+	h.pkt = pkt
+	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), h.fn)
+}
+
+func (h *cloudHop) run() {
+	n, pkt := h.n, h.pkt
+	h.pkt = nil
+	h.next = n.hopFree
+	n.hopFree = h
+	if len(n.blocked) > 0 && n.blocked[pairOf(pkt.Src.IP, pkt.Dst.IP)] {
+		n.drop(pkt, DropPartitioned)
+		pkt.Release()
+		return
+	}
+	dst := n.lookup(pkt.Dst.IP)
+	if dst == nil {
+		n.drop(pkt, DropNoRoute)
+		pkt.Release()
+		return
+	}
+	n.regRouted.Inc()
+	dst.medium.SendDown(pkt, dst)
+}
+
+// Deliver applies ingress filters and hands surviving packets to the host —
+// the down-side continuation the destination medium completes. Each packet
+// is recycled when the handler returns; handlers must not retain it.
+func (ifc *Iface) Deliver(pkt *Packet) {
 	// The interface may have moved to a new address while the packet was in
 	// flight on the access medium; a handed-off station no longer accepts
 	// traffic for its old address.
 	if pkt.Dst.IP != ifc.ip {
 		ifc.net.drop(pkt, DropNoRoute)
+		pkt.Release()
 		return
 	}
-	for _, in := range applyFilters(ifc.ingress, pkt) {
+	for _, in := range ifc.applyFilters(ifc.ingress, pkt, &ifc.inScratch) {
 		if ifc.handler != nil {
 			ifc.handler.HandlePacket(in)
 		}
+		in.Release()
 	}
 }
 
-func applyFilters(filters []Filter, pkt *Packet) []*Packet {
-	out := []*Packet{pkt}
+// applyFilters walks the filter chain over interface-owned scratch. A packet
+// a filter does not forward is recycled here (struct only — its payload may
+// live on in a clone the filter emitted instead).
+func (ifc *Iface) applyFilters(filters []Filter, pkt *Packet, s *filterScratch) []*Packet {
+	s.cur = append(s.cur[:0], pkt)
+	if len(filters) == 0 {
+		return s.cur
+	}
 	for _, f := range filters {
-		var next []*Packet
-		for _, p := range out {
-			next = append(next, f.FilterPacket(p)...)
+		s.next = s.next[:0]
+		for _, p := range s.cur {
+			before := len(s.next)
+			s.next = f.FilterPacket(p, s.next)
+			forwarded := false
+			for _, q := range s.next[before:] {
+				if q == p {
+					forwarded = true
+					break
+				}
+			}
+			if !forwarded {
+				p.Release()
+			}
 		}
-		out = next
-		if len(out) == 0 {
-			return nil
+		s.cur, s.next = s.next, s.cur
+		if len(s.cur) == 0 {
+			break
 		}
 	}
-	return out
+	return s.cur
 }

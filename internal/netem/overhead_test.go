@@ -14,7 +14,7 @@ func TestWirelessPerPacketOverhead(t *testing.T) {
 	ch := NewWirelessChannel(e, WirelessConfig{Rate: 1000, Overhead: 2 * time.Millisecond})
 	done := 0
 	for i := 0; i < 10; i++ {
-		ch.SendUp(&Packet{Size: 1000}, func(*Packet) { done++ })
+		ch.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { done++ }))
 	}
 	e.Run()
 	if done != 10 {
@@ -32,10 +32,10 @@ func TestOverheadMakesSmallPacketsExpensive(t *testing.T) {
 	e := sim.NewEngine()
 	ch := NewWirelessChannel(e, WirelessConfig{Rate: 150000, Overhead: 2 * time.Millisecond})
 	var ackDone, dataDone time.Duration
-	ch.SendUp(&Packet{Size: 40}, func(*Packet) { ackDone = e.Now() })
+	ch.SendUp(&Packet{Size: 40}, DeliverFunc(func(*Packet) { ackDone = e.Now() }))
 	e.Run()
 	start := e.Now()
-	ch.SendUp(&Packet{Size: 1500}, func(*Packet) { dataDone = e.Now() })
+	ch.SendUp(&Packet{Size: 1500}, DeliverFunc(func(*Packet) { dataDone = e.Now() }))
 	e.Run()
 	ackCost := ackDone
 	dataCost := dataDone - start
@@ -47,7 +47,7 @@ func TestOverheadMakesSmallPacketsExpensive(t *testing.T) {
 func TestWiredLinkHasNoImplicitOverhead(t *testing.T) {
 	e := sim.NewEngine()
 	l := NewAccessLink(e, AccessLinkConfig{UpRate: 1000, DownRate: 1000})
-	l.SendUp(&Packet{Size: 1000}, func(*Packet) {})
+	l.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) {}))
 	e.Run()
 	if e.Now() != time.Second {
 		t.Errorf("wired serialization took %v, want exactly 1s", e.Now())

@@ -63,7 +63,7 @@ func TestAccessLinkSetRate(t *testing.T) {
 
 	var deliveredAt []time.Duration
 	send := func() {
-		l.SendUp(&Packet{Size: 1000}, func(*Packet) { deliveredAt = append(deliveredAt, e.Now()) })
+		l.SendUp(&Packet{Size: 1000}, DeliverFunc(func(*Packet) { deliveredAt = append(deliveredAt, e.Now()) }))
 	}
 	send() // 1000 B at 1000 B/s = 1 s
 	e.Run()
@@ -97,7 +97,7 @@ func TestWirelessChannelSetRate(t *testing.T) {
 	c := NewWirelessChannel(e, WirelessConfig{Rate: 1000})
 
 	var at time.Duration
-	c.SendUp(&Packet{Size: 500}, func(*Packet) { at = e.Now() })
+	c.SendUp(&Packet{Size: 500}, DeliverFunc(func(*Packet) { at = e.Now() }))
 	e.Run()
 	if at != 500*time.Millisecond {
 		t.Fatalf("packet delivered at %v, want 500ms", at)
@@ -105,7 +105,7 @@ func TestWirelessChannelSetRate(t *testing.T) {
 
 	c.SetRate(250)
 	start := e.Now()
-	c.SendDown(&Packet{Size: 500}, func(*Packet) { at = e.Now() })
+	c.SendDown(&Packet{Size: 500}, DeliverFunc(func(*Packet) { at = e.Now() }))
 	e.Run()
 	if got := at - start; got != 2*time.Second {
 		t.Errorf("packet after SetRate took %v, want 2s", got)

@@ -10,13 +10,19 @@ import (
 // queued pairs a packet with its delivery continuation.
 type queued struct {
 	pkt     *Packet
-	deliver func(*Packet)
+	deliver Deliver
 }
 
 // transmitter serializes packets at a fixed rate through a drop-tail FIFO,
 // then applies propagation delay and an optional per-packet loss probability.
 // It models one direction of a wired link, or the single shared server of a
 // half-duplex wireless channel.
+//
+// The hot path is allocation-free: the serialization completion is a single
+// pre-bound continuation (the busy flag guarantees one packet on the wire at
+// a time, so its state lives in cur/curAirtime), and the propagation stage —
+// where many packets can be in flight at once — runs on pooled xmitHop
+// continuations.
 type transmitter struct {
 	engine   *sim.Engine
 	rate     Rate
@@ -35,6 +41,15 @@ type transmitter struct {
 	busy  bool
 	stats Stats
 
+	// cur is the packet being serialized, valid while busy; onTxDone is the
+	// pre-bound completion consuming it.
+	cur        queued
+	curAirtime time.Duration
+	onTxDone   func()
+
+	// hopFree recycles propagation-delay continuations.
+	hopFree *xmitHop
+
 	// Registry instruments, pre-bound by bindStats; media sharing an engine
 	// and prefix share these counters, so they read as per-class totals.
 	regTxPackets *stats.Counter
@@ -45,8 +60,27 @@ type transmitter struct {
 	regQueuePeak *stats.Gauge
 }
 
+// xmitHop carries one delivered packet across the propagation delay; fn is
+// bound once at allocation so scheduling it costs nothing.
+type xmitHop struct {
+	x       *transmitter
+	pkt     *Packet
+	deliver Deliver
+	next    *xmitHop
+	fn      func()
+}
+
+func (h *xmitHop) run() {
+	pkt, deliver := h.pkt, h.deliver
+	h.pkt, h.deliver = nil, nil
+	h.next = h.x.hopFree
+	h.x.hopFree = h
+	deliver.Deliver(pkt)
+}
+
 // bindStats attaches the transmitter to the engine's registry under the
-// given medium-class prefix ("netem.wired", "netem.wireless").
+// given medium-class prefix ("netem.wired", "netem.wireless") and binds the
+// serialization-complete continuation.
 func (x *transmitter) bindStats(prefix string) {
 	reg := x.engine.Stats()
 	x.regTxPackets = reg.Counter(prefix + ".tx_packets")
@@ -55,15 +89,17 @@ func (x *transmitter) bindStats(prefix string) {
 	x.regCorrupted = reg.Counter(prefix + ".drops.corrupted")
 	x.regAirtime = reg.Counter(prefix + ".airtime_ns")
 	x.regQueuePeak = reg.Gauge(prefix + ".queue_peak")
+	x.onTxDone = x.txDone
 }
 
 // enqueue admits a packet for transmission, dropping it if the buffer is
-// full.
-func (x *transmitter) enqueue(pkt *Packet, deliver func(*Packet)) {
+// full. The transmitter owns the packet until it delivers or drops it.
+func (x *transmitter) enqueue(pkt *Packet, deliver Deliver) {
 	if x.queueCap > 0 && len(x.queue) >= x.queueCap {
 		x.stats.Drops++
 		x.regOverflow.Inc()
 		x.drop(pkt, DropQueueOverflow)
+		pkt.Release()
 		return
 	}
 	x.queue = append(x.queue, queued{pkt: pkt, deliver: deliver})
@@ -83,25 +119,41 @@ func (x *transmitter) startNext() {
 	x.queue[len(x.queue)-1] = queued{}
 	x.queue = x.queue[:len(x.queue)-1]
 	x.busy = true
+	x.cur = item
+	x.curAirtime = x.overhead + x.rate.txTime(item.pkt.Size)
+	x.engine.Schedule(x.curAirtime, x.onTxDone)
+}
 
-	airtime := x.overhead + x.rate.txTime(item.pkt.Size)
-	x.engine.Schedule(airtime, func() {
-		x.stats.TxPackets++
-		x.stats.TxBytes += int64(item.pkt.Size)
-		x.regTxPackets.Inc()
-		x.regTxBytes.Add(int64(item.pkt.Size))
-		x.regAirtime.Add(int64(airtime))
-		corrupted := x.lossProb != nil &&
-			x.engine.Rand().Float64() < x.lossProb(item.pkt.Size)
-		if corrupted {
-			x.stats.Corrupted++
-			x.regCorrupted.Inc()
-			x.drop(item.pkt, DropCorrupted)
+// txDone fires when the current packet finishes serializing: account for
+// airtime, flip the corruption coin, and either hand the packet to a pooled
+// propagation hop or drop it.
+func (x *transmitter) txDone() {
+	item, airtime := x.cur, x.curAirtime
+	x.cur = queued{}
+	x.stats.TxPackets++
+	x.stats.TxBytes += int64(item.pkt.Size)
+	x.regTxPackets.Inc()
+	x.regTxBytes.Add(int64(item.pkt.Size))
+	x.regAirtime.Add(int64(airtime))
+	corrupted := x.lossProb != nil &&
+		x.engine.Rand().Float64() < x.lossProb(item.pkt.Size)
+	if corrupted {
+		x.stats.Corrupted++
+		x.regCorrupted.Inc()
+		x.drop(item.pkt, DropCorrupted)
+		item.pkt.Release()
+	} else {
+		h := x.hopFree
+		if h != nil {
+			x.hopFree = h.next
 		} else {
-			x.engine.Schedule(x.delay, func() { item.deliver(item.pkt) })
+			h = &xmitHop{x: x}
+			h.fn = h.run
 		}
-		x.startNext()
-	})
+		h.pkt, h.deliver = item.pkt, item.deliver
+		x.engine.Schedule(x.delay, h.fn)
+	}
+	x.startNext()
 }
 
 func (x *transmitter) drop(pkt *Packet, reason DropReason) {

@@ -200,7 +200,9 @@ func (c *Conn) Abort() {
 	if c.closed {
 		return
 	}
-	c.sendSegment(&Segment{Seq: c.sndNxt, Ack: c.rcvNxt, HasAck: true, RST: true})
+	seg := c.stack.pool.Get()
+	seg.Seq, seg.Ack, seg.HasAck, seg.RST = c.sndNxt, c.rcvNxt, true, true
+	c.sendSegment(seg)
 	c.teardown(ErrClosed)
 }
 
@@ -244,13 +246,16 @@ func (c *Conn) sendSegment(seg *Segment) {
 }
 
 func (c *Conn) sendSYN() {
-	seg := &Segment{SYN: true}
+	seg := c.stack.pool.Get()
+	seg.SYN = true
 	c.sendSegment(seg)
 	c.armRTO()
 }
 
 func (c *Conn) sendSynAck() {
-	c.sendSegment(&Segment{SYN: true, HasAck: true, Ack: c.rcvNxt})
+	seg := c.stack.pool.Get()
+	seg.SYN, seg.HasAck, seg.Ack = true, true, c.rcvNxt
+	c.sendSegment(seg)
 	c.armRTO()
 }
 
@@ -262,7 +267,9 @@ func (c *Conn) sendPureAck(dup bool) {
 		c.stats.DupAcksSent++
 		c.stack.reg.dupAcksSent.Inc()
 	}
-	c.sendSegment(&Segment{Seq: c.sndNxt, Ack: c.rcvNxt, HasAck: true})
+	seg := c.stack.pool.Get()
+	seg.Seq, seg.Ack, seg.HasAck = c.sndNxt, c.rcvNxt, true
+	c.sendSegment(seg)
 }
 
 // trySend transmits as much queued data as the congestion window allows and
@@ -284,8 +291,9 @@ func (c *Conn) trySend() int {
 			break
 		}
 		n := int(min64(avail, MSS))
-		seg := &Segment{Seq: c.sndNxt, Len: n, Ack: c.rcvNxt, HasAck: true}
-		seg.Msgs = c.collectMsgs(seg.Seq, seg.Seq+int64(n))
+		seg := c.stack.pool.Get()
+		seg.Seq, seg.Len, seg.Ack, seg.HasAck = c.sndNxt, n, c.rcvNxt, true
+		seg.Msgs = c.appendMsgs(seg.Msgs[:0], seg.Seq, seg.Seq+int64(n))
 		c.sndNxt += int64(n)
 		c.stats.BytesSent += int64(n)
 		if c.sndNxt > c.maxSent {
@@ -320,7 +328,9 @@ func (c *Conn) maybeSendFIN() {
 	if float64(c.sndNxt-c.sndUna) >= c.cwnd {
 		return
 	}
-	c.sendSegment(&Segment{Seq: c.sndNxt, FIN: true, Ack: c.rcvNxt, HasAck: true})
+	seg := c.stack.pool.Get()
+	seg.Seq, seg.FIN, seg.Ack, seg.HasAck = c.sndNxt, true, c.rcvNxt, true
+	c.sendSegment(seg)
 	c.sndNxt++ // FIN consumes one sequence number
 	c.finSent = true
 	if !c.rtxTimer.Armed() {
@@ -337,15 +347,18 @@ func (c *Conn) retransmit(seq int64, fast bool) {
 		c.stack.reg.fastRetransmits.Inc()
 	}
 	if c.finSent && seq == c.finSeq {
-		c.sendSegment(&Segment{Seq: seq, FIN: true, Ack: c.rcvNxt, HasAck: true})
+		seg := c.stack.pool.Get()
+		seg.Seq, seg.FIN, seg.Ack, seg.HasAck = seq, true, c.rcvNxt, true
+		c.sendSegment(seg)
 		return
 	}
 	n := int(min64(min64(c.dataTail(), c.sndNxt)-seq, MSS))
 	if n <= 0 {
 		return
 	}
-	seg := &Segment{Seq: seq, Len: n, Ack: c.rcvNxt, HasAck: true}
-	seg.Msgs = c.collectMsgs(seq, seq+int64(n))
+	seg := c.stack.pool.Get()
+	seg.Seq, seg.Len, seg.Ack, seg.HasAck = seq, n, c.rcvNxt, true
+	seg.Msgs = c.appendMsgs(seg.Msgs[:0], seq, seq+int64(n))
 	c.sendSegment(seg)
 }
 
@@ -400,9 +413,13 @@ func (c *Conn) onRTO() {
 	}
 	switch c.state {
 	case StateSynSent:
-		c.sendSegment(&Segment{SYN: true})
+		seg := c.stack.pool.Get()
+		seg.SYN = true
+		c.sendSegment(seg)
 	case StateSynRcvd:
-		c.sendSegment(&Segment{SYN: true, HasAck: true, Ack: c.rcvNxt})
+		seg := c.stack.pool.Get()
+		seg.SYN, seg.HasAck, seg.Ack = true, true, c.rcvNxt
+		c.sendSegment(seg)
 	case StateEstablished:
 		flight := float64(c.sndNxt - c.sndUna)
 		c.ssthresh = maxf(flight/2, 2*MSS)

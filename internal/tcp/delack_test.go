@@ -7,16 +7,18 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 )
 
-// captureSegs records TCP segments leaving an interface.
-func captureSegs(stack *Stack) *[]*Segment {
-	out := &[]*Segment{}
-	stack.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+// captureSegs records snapshots of TCP segments leaving an interface
+// (snapshots, not pointers: the receiving stack recycles segments, so a
+// retained *Segment would describe whatever reuses the struct).
+func captureSegs(stack *Stack) *[]Segment {
+	segs := &[]Segment{}
+	stack.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		if seg, ok := p.Payload.(*Segment); ok {
-			*out = append(*out, seg)
+			*segs = append(*segs, seg.Snapshot())
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
-	return out
+	return segs
 }
 
 func TestDelayedAckCoalescesPairs(t *testing.T) {
@@ -90,11 +92,11 @@ func TestTimestampsRecoverRTOAfterBackoff(t *testing.T) {
 	received := 0
 	server.OnDeliver = func(n int) { received += n }
 	blocked := false
-	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		if blocked {
-			return nil
+			return out
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
 	client.Write(2_000_000)
 	w.engine.RunFor(2 * time.Second)

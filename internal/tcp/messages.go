@@ -27,18 +27,15 @@ func (c *Conn) SendMessage(val any, wireLen int) {
 	}
 }
 
-// collectMsgs returns the framed messages whose final byte lies in
-// [seq, end), i.e. those completed by a segment spanning that range.
-func (c *Conn) collectMsgs(seq, end int64) []AppMessage {
+// appendMsgs appends the framed messages whose final byte lies in [seq, end)
+// — those completed by a segment spanning that range — to dst and returns
+// it. Callers pass the segment's recycled Msgs storage so framing a pooled
+// segment reuses its previous capacity.
+func (c *Conn) appendMsgs(dst []AppMessage, seq, end int64) []AppMessage {
 	// pendingMsgs is sorted by End; find (seq, end].
 	lo := sort.Search(len(c.pendingMsgs), func(i int) bool { return c.pendingMsgs[i].End > seq })
 	hi := sort.Search(len(c.pendingMsgs), func(i int) bool { return c.pendingMsgs[i].End > end })
-	if lo == hi {
-		return nil
-	}
-	out := make([]AppMessage, hi-lo)
-	copy(out, c.pendingMsgs[lo:hi])
-	return out
+	return append(dst, c.pendingMsgs[lo:hi]...)
 }
 
 // pruneMsgs discards framing for fully acknowledged messages.

@@ -166,14 +166,14 @@ func TestCollectMsgsBoundaries(t *testing.T) {
 		{300, 400, nil},
 	}
 	for _, tt := range tests {
-		got := c.collectMsgs(tt.seq, tt.end)
+		got := c.appendMsgs(nil, tt.seq, tt.end)
 		if len(got) != len(tt.want) {
-			t.Errorf("collectMsgs(%d,%d) = %v, want %v", tt.seq, tt.end, got, tt.want)
+			t.Errorf("appendMsgs(%d,%d) = %v, want %v", tt.seq, tt.end, got, tt.want)
 			continue
 		}
 		for i := range got {
 			if got[i].Val != tt.want[i] {
-				t.Errorf("collectMsgs(%d,%d)[%d] = %v, want %v", tt.seq, tt.end, i, got[i].Val, tt.want[i])
+				t.Errorf("appendMsgs(%d,%d)[%d] = %v, want %v", tt.seq, tt.end, i, got[i].Val, tt.want[i])
 			}
 		}
 	}

@@ -1,0 +1,160 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+// TestSegmentPoolReuseAfterAck is the free-list contract test: once a data
+// segment has been delivered and its ACK processed, both segment structs are
+// back in their stacks' pools and a warmed transfer stops allocating new
+// ones (tcp.pool.misses stays flat).
+func TestSegmentPoolReuseAfterAck(t *testing.T) {
+	w := newWorld(40)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	received := 0
+	server.OnDeliver = func(n int) { received += n }
+
+	// Warm: several bulk exchanges fill both free-lists and let cwnd grow
+	// past the burst size, so later waves have the same peak flight.
+	for i := 1; i <= 5; i++ {
+		client.Write(100 * MSS)
+		w.engine.RunFor(10 * time.Second)
+		if received != i*100*MSS {
+			t.Fatalf("warmup wave %d: received %d", i, received)
+		}
+	}
+	misses := func() int64 {
+		for _, c := range w.engine.Stats().Snapshot().Counters {
+			if c.Name == "tcp.pool.misses" {
+				return c.Value
+			}
+		}
+		t.Fatal("tcp.pool.misses not found")
+		return 0
+	}
+	before := misses()
+	client.Write(100 * MSS)
+	w.engine.RunFor(10 * time.Second)
+	if received != 600*MSS {
+		t.Fatalf("received %d", received)
+	}
+	if after := misses(); after != before {
+		t.Errorf("segment pool misses grew %d -> %d on a warmed transfer", before, after)
+	}
+}
+
+func TestSegmentDoubleReleasePanics(t *testing.T) {
+	w := newWorld(41)
+	s := w.wiredHost(1)
+	seg := s.pool.Get()
+	seg.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	seg.Release()
+}
+
+func TestSegmentSnapshotDetaches(t *testing.T) {
+	w := newWorld(42)
+	s := w.wiredHost(1)
+	seg := s.pool.Get()
+	seg.Seq, seg.Len, seg.Ack, seg.HasAck = 100, MSS, 50, true
+	seg.Msgs = append(seg.Msgs, AppMessage{End: 100, Val: "x"})
+	snap := seg.Snapshot()
+	seg.Release()
+	reused := s.pool.Get() // same struct, recycled
+	reused.Seq, reused.Len = 999, 1
+	if snap.Seq != 100 || snap.Len != MSS || snap.Ack != 50 || !snap.HasAck {
+		t.Errorf("snapshot mutated by reuse: %+v", snap)
+	}
+	if snap.Msgs != nil {
+		t.Error("snapshot retained Msgs framing")
+	}
+	if snap.String() == "" {
+		t.Error("snapshot must format")
+	}
+}
+
+// TestZeroAllocSendAckCycle pins the tentpole invariant on the transport:
+// a warmed steady-state send -> deliver -> ack cycle on an established
+// connection performs zero heap allocations end to end (segment, packet,
+// link serialization, cloud routing, demux, ACK return path).
+func TestZeroAllocSendAckCycle(t *testing.T) {
+	w := newWorld(43)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	received := 0
+	server.OnDeliver = func(n int) { received += n }
+
+	// Warm pools, queues, cwnd, and the RTT estimator.
+	client.Write(200 * MSS)
+	w.engine.RunFor(10 * time.Second)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		client.Write(MSS)
+		w.engine.RunFor(500 * time.Millisecond) // covers data, ack, delack timer
+	})
+	if allocs != 0 {
+		t.Errorf("send->ack cycle allocates %.1f per op, want 0", allocs)
+	}
+	if client.Buffered() != 0 {
+		t.Fatalf("Buffered = %d, want 0 (acks not processed)", client.Buffered())
+	}
+}
+
+// TestPooledSegmentsSurviveRetransmission exercises the loss path: dropped
+// segments are abandoned to the GC, retransmissions draw fresh structs, and
+// the transfer still completes with the pools consistent.
+func TestPooledSegmentsSurviveRetransmission(t *testing.T) {
+	w := newWorld(44)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	client, server := connect(t, w, sa, sb, 80)
+	received := 0
+	server.OnDeliver = func(n int) { received += n }
+	drop := 0
+	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
+		if seg, ok := p.Payload.(*Segment); ok && seg.Len > 0 {
+			drop++
+			if drop%7 == 0 {
+				return out
+			}
+		}
+		return append(out, p)
+	}))
+	client.Write(500 * MSS)
+	w.engine.RunFor(2 * time.Minute)
+	if received != 500*MSS {
+		t.Fatalf("received %d, want %d", received, 500*MSS)
+	}
+	if client.Stats().Retransmits == 0 {
+		t.Fatal("filter did not force retransmissions")
+	}
+}
+
+// BenchmarkSendAckCycle measures one MSS of payload through the full stack:
+// segment framing, pooled packet, two link crossings, demux, and the ACK.
+func BenchmarkSendAckCycle(b *testing.B) {
+	w := newWorld(45)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	var server *Conn
+	sb.Listen(80, func(c *Conn) { server = c })
+	client := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	w.engine.RunFor(2 * time.Second)
+	if client.State() != StateEstablished || server == nil {
+		b.Fatal("not established")
+	}
+	client.Write(200 * MSS)
+	w.engine.RunFor(10 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.Write(MSS)
+		w.engine.RunFor(500 * time.Millisecond)
+	}
+}

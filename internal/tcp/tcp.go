@@ -67,6 +67,31 @@ type Segment struct {
 	// Msgs carries framing for application messages whose final byte lies
 	// in this segment's range (see AppMessage).
 	Msgs []AppMessage
+
+	pool   *SegmentPool // origin free-list; nil for hand-built segments
+	pooled bool         // currently parked in the free-list (double-free guard)
+}
+
+// Release returns the segment to its origin pool; hand-built segments are
+// left to the garbage collector. The receiving stack calls this once the
+// segment is fully processed — nothing downstream may retain it (the trace
+// layer keeps a Snapshot instead).
+func (s *Segment) Release() {
+	if s.pool != nil {
+		s.pool.put(s)
+	}
+}
+
+// Snapshot returns a detached copy safe to retain after the segment is
+// released — the lazy flight recorder formats records long after the wire
+// packet is gone. Msgs are dropped: framing values are application objects a
+// trace ring must not keep alive.
+func (s *Segment) Snapshot() Segment {
+	c := *s
+	c.pool = nil
+	c.pooled = false
+	c.Msgs = nil
+	return c
 }
 
 // IsPureAck reports whether the segment carries only acknowledgement
@@ -154,7 +179,15 @@ type Stack struct {
 	conns     map[fourTuple]*Conn
 	listeners map[uint16]*Listener
 	nextPort  uint16
+	pool      *SegmentPool
 	reg       stackStats
+
+	// One-entry demux cache: bulk transfer delivers long runs of segments
+	// for the same connection, so remembering the last match skips hashing
+	// the four-tuple on most packets. Invalidated when the cached connection
+	// is removed.
+	lastKey  fourTuple
+	lastConn *Conn
 }
 
 // stackStats holds the registry instruments shared by all of a stack's
@@ -200,6 +233,7 @@ func NewStack(engine *sim.Engine, iface *netem.Iface, cfg Config) *Stack {
 		conns:     make(map[fourTuple]*Conn),
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
+		pool:      NewSegmentPool(engine.Stats()),
 	}
 	s.reg.bind(engine.Stats())
 	iface.SetHandler(s)
@@ -269,15 +303,26 @@ func (s *Stack) allocPort() uint16 {
 	}
 }
 
-// HandlePacket demultiplexes an arriving segment. It implements
+// HandlePacket demultiplexes an arriving segment and releases it once the
+// connection has processed it — the segment's terminal point. It implements
 // netem.Handler.
 func (s *Stack) HandlePacket(pkt *netem.Packet) {
 	seg, ok := pkt.Payload.(*Segment)
 	if !ok {
 		return // not TCP traffic
 	}
+	s.dispatch(pkt, seg)
+	seg.Release()
+}
+
+func (s *Stack) dispatch(pkt *netem.Packet, seg *Segment) {
 	key := fourTuple{local: pkt.Dst, remote: pkt.Src}
+	if s.lastConn != nil && key == s.lastKey {
+		s.lastConn.handleSegment(seg)
+		return
+	}
 	if c, ok := s.conns[key]; ok {
+		s.lastKey, s.lastConn = key, c
 		c.handleSegment(seg)
 		return
 	}
@@ -295,18 +340,31 @@ func (s *Stack) HandlePacket(pkt *netem.Packet) {
 	if !seg.RST {
 		// No such connection: refuse, so a peer dialling a host that moved
 		// here (or a stale flow) fails fast rather than by timeout.
-		s.sendRaw(pkt.Dst, pkt.Src, &Segment{RST: true, HasAck: true, Ack: seg.Seq + int64(seg.Len)})
+		rst := s.pool.Get()
+		rst.RST, rst.HasAck, rst.Ack = true, true, seg.Seq+int64(seg.Len)
+		s.sendRaw(pkt.Dst, pkt.Src, rst)
 	}
 }
 
+// sendRaw wraps the segment in a pooled packet and hands it to the
+// interface. Packet and segment ownership both leave the stack here: netem
+// recycles the packet struct at its terminal point, and the segment is
+// released by whichever stack receives it (or GC'd if dropped in flight).
 func (s *Stack) sendRaw(from, to netem.Addr, seg *Segment) {
-	s.iface.Send(&netem.Packet{Src: from, Dst: to, Size: seg.WireSize(), Payload: seg})
+	pkt := s.iface.NewPacket()
+	pkt.Src, pkt.Dst = from, to
+	pkt.Size = seg.WireSize()
+	pkt.Payload = seg
+	s.iface.Send(pkt)
 }
 
 func (s *Stack) removeConn(c *Conn) {
 	key := fourTuple{local: c.local, remote: c.remote}
 	if s.conns[key] == c {
 		delete(s.conns, key)
+	}
+	if s.lastConn == c {
+		s.lastConn = nil
 	}
 }
 

@@ -176,16 +176,16 @@ func TestBidirectionalSimultaneousTransfer(t *testing.T) {
 // (1-based), once.
 func dropNth(n int) netem.Filter {
 	seen := 0
-	return netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	return netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		seg, ok := p.Payload.(*Segment)
 		if !ok || seg.Len == 0 {
-			return []*netem.Packet{p}
+			return append(out, p)
 		}
 		seen++
 		if seen == n {
-			return nil
+			return out
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	})
 }
 
@@ -228,11 +228,11 @@ func TestDupAcksAlwaysPure(t *testing.T) {
 		pure bool
 	}
 	var sent []obs
-	sb.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	sb.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		if seg, ok := p.Payload.(*Segment); ok && seg.HasAck && !seg.SYN {
 			sent = append(sent, obs{ack: seg.Ack, pure: seg.IsPureAck()})
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
 	received := 0
 	server.OnDeliver = func(n int) { received += n }
@@ -280,13 +280,13 @@ func TestRTORecovery(t *testing.T) {
 	sa, sb := w.wiredHost(1), w.wiredHost(2)
 	client, server := connect(t, w, sa, sb, 80)
 	dropped := 0
-	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		seg, ok := p.Payload.(*Segment)
 		if ok && seg.Len > 0 && dropped < 4 {
 			dropped++
-			return nil
+			return out
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
 	received := 0
 	server.OnDeliver = func(n int) { received += n }
@@ -325,10 +325,10 @@ func TestCwndHalvesOnFastRetransmit(t *testing.T) {
 	var minAfterLoss int64 = 1 << 60
 	dropped := false
 	count := 0
-	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	sa.Iface().AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		seg, ok := p.Payload.(*Segment)
 		if !ok || seg.Len == 0 {
-			return []*netem.Packet{p}
+			return append(out, p)
 		}
 		if c := client.Cwnd(); c > maxCwnd {
 			maxCwnd = c
@@ -336,12 +336,12 @@ func TestCwndHalvesOnFastRetransmit(t *testing.T) {
 		count++
 		if !dropped && count == 40 {
 			dropped = true
-			return nil
+			return out
 		}
 		if dropped && client.Cwnd() < minAfterLoss {
 			minAfterLoss = client.Cwnd()
 		}
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
 	client.Write(2_000_000)
 	w.engine.RunFor(2 * time.Minute)

@@ -33,6 +33,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
+	"github.com/wp2p/wp2p/internal/tcp"
 )
 
 // Event is one recorded observation, materialized by Events or Dump.
@@ -207,9 +208,18 @@ func (p PacketInfo) String() string {
 	return fmt.Sprintf("%s->%s %dB %v", p.Src, p.Dst, p.Size, p.Payload)
 }
 
-// packetInfo snapshots the fields the trace needs.
+// packetInfo snapshots the fields the trace needs. Payloads are detached
+// from the live packet: a pooled tcp.Segment is value-copied (the pointer in
+// the ring would otherwise describe whatever flow reuses the struct by the
+// time the record is formatted), so the no-later-mutation contract holds
+// even with the data path recycling segments underneath the ring.
 func packetInfo(p *netem.Packet) PacketInfo {
-	return PacketInfo{Src: p.Src, Dst: p.Dst, Size: p.Size, Payload: p.Payload}
+	info := PacketInfo{Src: p.Src, Dst: p.Dst, Size: p.Size, Payload: p.Payload}
+	if seg, ok := p.Payload.(*tcp.Segment); ok {
+		snap := seg.Snapshot()
+		info.Payload = &snap
+	}
+	return info
 }
 
 // WatchIface records every packet entering and leaving an interface. The
@@ -219,15 +229,15 @@ func WatchIface(r *Recorder, name string, iface *netem.Iface) {
 	reg := r.engine.Stats()
 	egress := reg.Counter("trace.watch." + name + ".egress")
 	ingress := reg.Counter("trace.watch." + name + ".ingress")
-	iface.AddEgressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	iface.AddEgressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		egress.Inc()
 		r.Emit(name+"/egress", "pkt", "%v", packetInfo(p))
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
-	iface.AddIngressFilter(netem.FilterFunc(func(p *netem.Packet) []*netem.Packet {
+	iface.AddIngressFilter(netem.FilterFunc(func(p *netem.Packet, out []*netem.Packet) []*netem.Packet {
 		ingress.Inc()
 		r.Emit(name+"/ingress", "pkt", "%v", packetInfo(p))
-		return []*netem.Packet{p}
+		return append(out, p)
 	}))
 }
 

@@ -101,7 +101,7 @@ func TestWatchWirelessRecordsDrops(t *testing.T) {
 	r := NewRecorder(e, 64)
 	WatchWireless(r, "wlan", ch)
 	for i := 0; i < 5; i++ {
-		ch.SendUp(&netem.Packet{Size: 1000}, func(*netem.Packet) {})
+		ch.SendUp(&netem.Packet{Size: 1000}, netem.DeliverFunc(func(*netem.Packet) {}))
 	}
 	e.Run()
 	found := false
@@ -291,7 +291,7 @@ func TestWatchLinkRecordsDrops(t *testing.T) {
 	r := NewRecorder(e, 64)
 	WatchLink(r, "dsl", l)
 	for i := 0; i < 5; i++ {
-		l.SendUp(&netem.Packet{Size: 1000}, func(*netem.Packet) {})
+		l.SendUp(&netem.Packet{Size: 1000}, netem.DeliverFunc(func(*netem.Packet) {}))
 	}
 	e.Run()
 	found := false

@@ -92,6 +92,9 @@ type AMFilter struct {
 	cfg    AMConfig
 	flows  map[netem.Addr]*amFlow
 	stats  AMStats
+	// segs supplies the pure-ACK segments the decouple path fabricates; the
+	// receiving fixed peer's stack releases them like any other segment.
+	segs *tcp.SegmentPool
 
 	regDecoupled  *stats.Counter
 	regDupDropped *stats.Counter
@@ -106,6 +109,7 @@ func NewAMFilter(engine *sim.Engine, cfg AMConfig) *AMFilter {
 		engine:        engine,
 		cfg:           cfg.withDefaults(),
 		flows:         make(map[netem.Addr]*amFlow),
+		segs:          tcp.NewSegmentPool(reg),
 		regDecoupled:  reg.Counter("wp2p.am.decoupled"),
 		regDupDropped: reg.Counter("wp2p.am.dupacks_dropped"),
 		regGateYoung:  reg.Counter("wp2p.am.gate_young"),
@@ -152,18 +156,18 @@ func (f *AMFilter) Status(remote netem.Addr) FlowStatus {
 
 // observeIngress accumulates payload arriving from each remote — the
 // receiver-side estimate of the remote sender's congestion window.
-func (f *AMFilter) observeIngress(pkt *netem.Packet) []*netem.Packet {
+func (f *AMFilter) observeIngress(pkt *netem.Packet, out []*netem.Packet) []*netem.Packet {
 	if seg, ok := pkt.Payload.(*tcp.Segment); ok && seg.Len > 0 {
 		f.flow(pkt.Src).rcvd.Add(f.engine.Now(), int64(seg.Len))
 	}
-	return []*netem.Packet{pkt}
+	return append(out, pkt)
 }
 
 // filterEgress implements the pseudo-code of the paper's Figure 5.
-func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
+func (f *AMFilter) filterEgress(pkt *netem.Packet, out []*netem.Packet) []*netem.Packet {
 	seg, ok := pkt.Payload.(*tcp.Segment)
 	if !ok || seg.SYN || seg.RST || !seg.HasAck {
-		return []*netem.Packet{pkt}
+		return append(out, pkt)
 	}
 	fl := f.flow(pkt.Dst)
 	status := f.Status(pkt.Dst)
@@ -183,20 +187,20 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
 			if status == FlowYoung {
 				// Decouple: convey the new ACK as a separate pure ACK ahead
 				// of the data packet, so a data-packet corruption does not
-				// take the ACK down with it.
+				// take the ACK down with it. Both emissions are pooled: the
+				// segment from the filter's own pool, the packet cloned from
+				// the one in hand (same pool, fresh struct).
 				f.stats.Decoupled++
 				f.regDecoupled.Inc()
-				pure := &tcp.Segment{Seq: seg.Seq, Ack: seg.Ack, HasAck: true}
-				purePkt := &netem.Packet{
-					Src:     pkt.Src,
-					Dst:     pkt.Dst,
-					Size:    pure.WireSize(),
-					Payload: pure,
-				}
-				return []*netem.Packet{purePkt, pkt}
+				pure := f.segs.Get()
+				pure.Seq, pure.Ack, pure.HasAck = seg.Seq, seg.Ack, true
+				purePkt := pkt.Clone()
+				purePkt.Size = pure.WireSize()
+				purePkt.Payload = pure
+				return append(out, purePkt, pkt)
 			}
 		}
-		return []*netem.Packet{pkt}
+		return append(out, pkt)
 	}
 
 	if seg.IsPureAck() {
@@ -205,17 +209,18 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet) []*netem.Packet {
 			fl.dupCnt++
 			if status == FlowMature && fl.dupCnt%f.cfg.DropEveryN == 0 {
 				// Thin one in N so the wireless leg's packet count halves
-				// after congestion instead of staying level.
+				// after congestion instead of staying level. Returning out
+				// unchanged drops the packet; the interface recycles it.
 				f.stats.DupAcksDropped++
 				f.regDupDropped.Inc()
-				return nil
+				return out
 			}
 		} else if seg.Ack > fl.lastAck {
 			fl.lastAck = seg.Ack
 			fl.dupCnt = 0
 		}
 	}
-	return []*netem.Packet{pkt}
+	return append(out, pkt)
 }
 
 // Prune drops state for flows idle longer than age.

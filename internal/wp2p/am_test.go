@@ -33,7 +33,7 @@ func pureAckPkt(ack int64) *netem.Packet {
 // the peer-cwnd estimate.
 func feedIngress(f *AMFilter, n int) {
 	seg := &tcp.Segment{Len: n, HasAck: true}
-	f.observeIngress(&netem.Packet{Src: remote, Dst: mobile, Size: seg.WireSize(), Payload: seg})
+	f.observeIngress(&netem.Packet{Src: remote, Dst: mobile, Size: seg.WireSize(), Payload: seg}, nil)
 }
 
 func TestAMDefaults(t *testing.T) {
@@ -72,7 +72,7 @@ func TestAMStatusDecaysWithWindow(t *testing.T) {
 
 func TestAMDecouplesNewPiggybackedAckWhenYoung(t *testing.T) {
 	_, f := amFixture(3)
-	out := f.filterEgress(dataPkt(1000, 1460))
+	out := f.filterEgress(dataPkt(1000, 1460), nil)
 	if len(out) != 2 {
 		t.Fatalf("got %d packets, want pure ACK + data", len(out))
 	}
@@ -94,12 +94,12 @@ func TestAMDecouplesNewPiggybackedAckWhenYoung(t *testing.T) {
 
 func TestAMDoesNotDecoupleStaleAck(t *testing.T) {
 	_, f := amFixture(4)
-	f.filterEgress(dataPkt(1000, 1460)) // establishes lastAck = 1000
-	out := f.filterEgress(dataPkt(1000, 1460))
+	f.filterEgress(dataPkt(1000, 1460), nil) // establishes lastAck = 1000
+	out := f.filterEgress(dataPkt(1000, 1460), nil)
 	if len(out) != 1 {
 		t.Fatalf("stale ack decoupled: %d packets", len(out))
 	}
-	out = f.filterEgress(dataPkt(900, 1460))
+	out = f.filterEgress(dataPkt(900, 1460), nil)
 	if len(out) != 1 {
 		t.Fatalf("regressed ack decoupled: %d packets", len(out))
 	}
@@ -108,7 +108,7 @@ func TestAMDoesNotDecoupleStaleAck(t *testing.T) {
 func TestAMDoesNotDecoupleWhenMature(t *testing.T) {
 	_, f := amFixture(5)
 	feedIngress(f, 10*tcp.MSS)
-	out := f.filterEgress(dataPkt(1000, 1460))
+	out := f.filterEgress(dataPkt(1000, 1460), nil)
 	if len(out) != 1 {
 		t.Fatalf("mature flow decoupled: %d packets", len(out))
 	}
@@ -120,10 +120,10 @@ func TestAMDoesNotDecoupleWhenMature(t *testing.T) {
 func TestAMDropsEveryFourthDupAckWhenMature(t *testing.T) {
 	_, f := amFixture(6)
 	feedIngress(f, 10*tcp.MSS) // mature
-	f.filterEgress(pureAckPkt(5000))
+	f.filterEgress(pureAckPkt(5000), nil)
 	passed, dropped := 0, 0
 	for i := 0; i < 12; i++ {
-		if out := f.filterEgress(pureAckPkt(5000)); len(out) == 1 {
+		if out := f.filterEgress(pureAckPkt(5000), nil); len(out) == 1 {
 			passed++
 		} else {
 			dropped++
@@ -139,9 +139,9 @@ func TestAMDropsEveryFourthDupAckWhenMature(t *testing.T) {
 
 func TestAMKeepsDupAcksWhenYoung(t *testing.T) {
 	_, f := amFixture(7)
-	f.filterEgress(pureAckPkt(5000))
+	f.filterEgress(pureAckPkt(5000), nil)
 	for i := 0; i < 12; i++ {
-		if out := f.filterEgress(pureAckPkt(5000)); len(out) != 1 {
+		if out := f.filterEgress(pureAckPkt(5000), nil); len(out) != 1 {
 			t.Fatalf("young flow dropped a dupack at i=%d", i)
 		}
 	}
@@ -150,13 +150,13 @@ func TestAMKeepsDupAcksWhenYoung(t *testing.T) {
 func TestAMAdvancingAckResetsDupCount(t *testing.T) {
 	_, f := amFixture(8)
 	feedIngress(f, 10*tcp.MSS)
-	f.filterEgress(pureAckPkt(5000))
-	f.filterEgress(pureAckPkt(5000)) // dup 1
-	f.filterEgress(pureAckPkt(5000)) // dup 2
-	f.filterEgress(pureAckPkt(6000)) // new ack resets
+	f.filterEgress(pureAckPkt(5000), nil)
+	f.filterEgress(pureAckPkt(5000), nil) // dup 1
+	f.filterEgress(pureAckPkt(5000), nil) // dup 2
+	f.filterEgress(pureAckPkt(6000), nil) // new ack resets
 	dropped := 0
 	for i := 0; i < 4; i++ {
-		if out := f.filterEgress(pureAckPkt(6000)); len(out) == 0 {
+		if out := f.filterEgress(pureAckPkt(6000), nil); len(out) == 0 {
 			dropped++
 		}
 	}
@@ -173,20 +173,20 @@ func TestAMPassthroughControlSegments(t *testing.T) {
 		{RST: true, HasAck: true},
 	} {
 		pkt := &netem.Packet{Src: mobile, Dst: remote, Size: seg.WireSize(), Payload: seg}
-		if out := f.filterEgress(pkt); len(out) != 1 || out[0] != pkt {
+		if out := f.filterEgress(pkt, nil); len(out) != 1 || out[0] != pkt {
 			t.Errorf("control segment %v not passed through", seg)
 		}
 	}
 	// Non-TCP payloads pass untouched.
 	raw := &netem.Packet{Src: mobile, Dst: remote, Size: 100, Payload: "opaque"}
-	if out := f.filterEgress(raw); len(out) != 1 || out[0] != raw {
+	if out := f.filterEgress(raw, nil); len(out) != 1 || out[0] != raw {
 		t.Error("non-TCP packet not passed through")
 	}
 }
 
 func TestAMPrune(t *testing.T) {
 	e, f := amFixture(10)
-	f.filterEgress(pureAckPkt(1))
+	f.filterEgress(pureAckPkt(1), nil)
 	if f.Stats().Flows != 1 {
 		t.Fatalf("flows = %d", f.Stats().Flows)
 	}

@@ -1,0 +1,131 @@
+// Command bench-compare diffs two entries of the wp2p.bench.v1 performance
+// trajectory (see internal/bench, cmd/wp2p-bench) and exits nonzero on a
+// regression: wall time up more than -max-wall-pct on any shared workload,
+// or allocs/op up at all. CI runs it to keep the data-path allocation work
+// from eroding.
+//
+// Usage:
+//
+//	bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct 10] BASE.json [NEW.json]
+//
+// With one file, the default compares the first entry (the oldest baseline)
+// against the last (the newest measurement). With two files, the last entry
+// of each is used. Explicit -base/-new labels override either default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wp2p/wp2p/internal/bench"
+)
+
+func pick(f *bench.File, label string, last bool, path string) (*bench.Entry, error) {
+	if label != "" {
+		e := f.Find(label)
+		if e == nil {
+			return nil, fmt.Errorf("label %q not found in %s", label, path)
+		}
+		return e, nil
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("%s has no entries", path)
+	}
+	if last {
+		return f.Last(), nil
+	}
+	return &f.Entries[0], nil
+}
+
+func main() {
+	baseLabel := flag.String("base", "", "baseline entry label (default: first entry / last of BASE.json)")
+	newLabel := flag.String("new", "", "candidate entry label (default: last entry)")
+	maxWallPct := flag.Float64("max-wall-pct", 10, "max tolerated wall-time regression, percent")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct N] BASE.json [NEW.json]")
+		os.Exit(2)
+	}
+	basePath := flag.Arg(0)
+	newPath := basePath
+	twoFiles := flag.NArg() == 2
+	if twoFiles {
+		newPath = flag.Arg(1)
+	}
+
+	baseFile, err := bench.Load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(1)
+	}
+	newFile := baseFile
+	if twoFiles {
+		if newFile, err = bench.Load(newPath); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	baseEntry, err := pick(baseFile, *baseLabel, twoFiles, basePath)
+	if err == nil && baseEntry.Label == "" {
+		err = fmt.Errorf("baseline entry in %s has no label", basePath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(1)
+	}
+	newEntry, err := pick(newFile, *newLabel, true, newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(1)
+	}
+	if baseEntry == newEntry {
+		fmt.Fprintf(os.Stderr, "bench-compare: baseline and candidate are the same entry (%q)\n", baseEntry.Label)
+		os.Exit(2)
+	}
+	if baseEntry.Scale != newEntry.Scale {
+		fmt.Fprintf(os.Stderr, "bench-compare: scale mismatch: %g vs %g — entries are not comparable\n",
+			baseEntry.Scale, newEntry.Scale)
+		os.Exit(1)
+	}
+
+	fmt.Printf("comparing %q -> %q\n", baseEntry.Label, newEntry.Label)
+	fmt.Printf("%-12s %15s %15s %8s   %13s %13s\n",
+		"workload", "wall(base)", "wall(new)", "Δwall", "allocs(base)", "allocs(new)")
+	failed := false
+	shared := 0
+	for _, nw := range newEntry.Workloads {
+		bw := baseEntry.Workload(nw.Name)
+		if bw == nil {
+			fmt.Printf("%-12s (new workload, no baseline)\n", nw.Name)
+			continue
+		}
+		shared++
+		wallPct := 0.0
+		if bw.WallNsPerOp > 0 {
+			wallPct = 100 * float64(nw.WallNsPerOp-bw.WallNsPerOp) / float64(bw.WallNsPerOp)
+		}
+		verdicts := ""
+		if wallPct > *maxWallPct {
+			verdicts += fmt.Sprintf("  WALL REGRESSION (>%g%%)", *maxWallPct)
+			failed = true
+		}
+		if nw.AllocsPerOp > bw.AllocsPerOp {
+			verdicts += "  ALLOCS REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s %13dns %13dns %+7.1f%%   %13d %13d%s\n",
+			nw.Name, bw.WallNsPerOp, nw.WallNsPerOp, wallPct,
+			bw.AllocsPerOp, nw.AllocsPerOp, verdicts)
+	}
+	if shared == 0 {
+		fmt.Fprintln(os.Stderr, "bench-compare: no shared workloads between entries")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Println("FAIL: performance regression")
+		os.Exit(1)
+	}
+	fmt.Println("ok: no regression")
+}
