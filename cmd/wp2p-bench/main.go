@@ -84,10 +84,14 @@ func main() {
 	names := flag.String("workloads", "fig2a,fig4a,flashcrowd", "comma-separated workloads to run")
 	flashCrowd := flag.String("flash-crowd", "examples/scenarios/flash-crowd.json", "flash-crowd scenario spec path")
 	benchtime := flag.Int("benchtime", 0, "fixed iteration count (0 = auto, ~1s per workload)")
+	checkOn := flag.Bool("check", false, "run workloads with invariant sweeps armed (measures the checker's own overhead)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "wp2p-bench: -label is required")
 		os.Exit(2)
+	}
+	if *checkOn {
+		experiments.EnableChecking(0)
 	}
 
 	// Pin the sequential runner path so entries are comparable across

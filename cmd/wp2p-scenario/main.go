@@ -44,8 +44,11 @@ func run() int {
 	sweep := flag.String("sweep", "", "sweep an override path from the CLI: path=v1,v2,... (replaces the file's sweep)")
 	stats := flag.Bool("stats", false, "print each scenario's cross-layer stats summary")
 	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
+	checkOn := flag.Bool("check", false, "sweep runtime invariants every few thousand events; violations abort with the seed")
+	digestFile := flag.String("digest", "", "write a wp2p.digest.v1 determinism digest stream to this file (implies -check)")
+	digestEvery := flag.Int("digestevery", 0, "events between digest samples (0 = default 4096)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wp2p-scenario [-validate] [-scale f] [-parallel n] [-sweep path=v1,v2] [-stats] [-json dir] file.json ...\n")
+		fmt.Fprintf(os.Stderr, "usage: wp2p-scenario [-validate] [-scale f] [-parallel n] [-sweep path=v1,v2] [-stats] [-json dir] [-check] [-digest file] file.json ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,6 +96,13 @@ func run() int {
 		return exit
 	}
 
+	if *checkOn {
+		experiments.EnableChecking(0)
+	}
+	if *digestFile != "" {
+		experiments.EnableDigests(*digestEvery)
+	}
+
 	runner.SetWorkers(*parallel)
 
 	type outcome struct {
@@ -126,7 +136,29 @@ func run() int {
 			}
 			fmt.Printf("[%s completed in %v]\n\n", specs[i].Name, o.dur.Round(time.Millisecond))
 		})
+
+	if *digestFile != "" {
+		if err := writeDigestFile(*digestFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Printf("[wrote digest stream %s]\n", *digestFile)
+		}
+	}
 	return exit
+}
+
+// writeDigestFile dumps the digest streams collected across all worlds.
+func writeDigestFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteDigests(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSweepFlag turns "peers[0].mobility.period=0s,2m,30s" into a sweep.

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	wp2p-sim [-scale 1.0] [-parallel N] [-stats] [-json dir] [-trace spec]
+//	         [-check] [-digest file] [-digestevery n]
 //	         [-cpuprofile f] [-memprofile f] [-list] [experiment ...]
 //
 // With no experiment arguments every figure is run in order. Scale < 1
@@ -21,6 +22,13 @@
 // recorder to every simulated world and dumps the retained tail to stderr;
 // the spec filters by watch point, e.g. "net=drop" or "wlan" (comma-
 // separated source=kind patterns, * wildcards, empty records everything).
+//
+// -check sweeps runtime invariants (byte conservation, TCP sequence-space
+// sanity, pool ownership, choker slots, clock monotonicity) across every
+// simulated world; the first violation aborts with the seed and the
+// flight-recorder tail when tracing is on. -digest additionally hashes
+// engine state periodically and writes a wp2p.digest.v1 stream to the given
+// file, for divergence hunting with digest-bisect.
 package main
 
 import (
@@ -49,6 +57,9 @@ func run() int {
 	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
 	traceSpec := flag.String("trace", "", "record a flight-recorder trace per world, filtered by source=kind spec (\"*\" = everything); dumped to stderr")
 	traceCap := flag.Int("tracecap", 0, "flight-recorder ring capacity per world (0 = default 1024)")
+	checkOn := flag.Bool("check", false, "sweep runtime invariants every few thousand events; violations abort with the seed")
+	digestFile := flag.String("digest", "", "write a wp2p.digest.v1 determinism digest stream to this file (implies -check)")
+	digestEvery := flag.Int("digestevery", 0, "events between digest samples (0 = default 4096)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
@@ -81,6 +92,12 @@ func run() int {
 	}
 	if isFlagSet("trace") || *traceCap > 0 {
 		experiments.EnableTracing(*traceSpec, *traceCap, os.Stderr)
+	}
+	if *checkOn {
+		experiments.EnableChecking(0)
+	}
+	if *digestFile != "" {
+		experiments.EnableDigests(*digestEvery)
 	}
 
 	runner.SetWorkers(*parallel)
@@ -127,6 +144,15 @@ func run() int {
 			fmt.Printf("[%s completed in %v]\n\n", valid[i], o.dur.Round(time.Millisecond))
 		})
 
+	if *digestFile != "" {
+		if err := writeDigestFile(*digestFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Printf("[wrote digest stream %s]\n", *digestFile)
+		}
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -141,6 +167,19 @@ func run() int {
 		f.Close()
 	}
 	return exit
+}
+
+// writeDigestFile dumps the digest streams collected across all worlds.
+func writeDigestFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteDigests(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // isFlagSet reports whether the named flag appeared on the command line, so

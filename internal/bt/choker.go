@@ -58,16 +58,24 @@ func (ck *choker) run() {
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
 
+	// Fill the regular (tit-for-tat) slots from the ranking, then add the
+	// optimistic unchoke on top. Per BEP-3 (and the Legout et al.
+	// measurement setup) the optimistic unchoke is additive — it must not
+	// consume a regular slot, or the newcomer bootstrap would come at the
+	// expense of the best reciprocator.
 	slots := c.cfg.UnchokeSlots
-	unchoked := make(map[*peerConn]bool, slots)
-	if ck.optimistic != nil {
-		unchoked[ck.optimistic] = true
-	}
+	unchoked := make(map[*peerConn]bool, slots+1)
 	for _, r := range rs {
 		if len(unchoked) >= slots {
 			break
 		}
+		if r.p == ck.optimistic {
+			continue
+		}
 		unchoked[r.p] = true
+	}
+	if ck.optimistic != nil {
+		unchoked[ck.optimistic] = true
 	}
 
 	for _, p := range c.peers {

@@ -46,6 +46,40 @@ func TestChokerOptimisticRotates(t *testing.T) {
 	}
 }
 
+func TestOptimisticUnchokeIsAdditive(t *testing.T) {
+	// With one regular slot, a seed serving several hungry leeches must
+	// unchoke two peers once warm: the best reciprocator in the regular
+	// slot plus the rotating optimistic unchoke on top (BEP-3). The
+	// optimistic unchoke used to consume the regular slot, which starved
+	// the best reciprocator every rotation.
+	env := newSwarmEnv(45, 8*1024*1024, 256*1024)
+	seedLim := NewLimiter(env.engine, 10*netem.KBps)
+	seed := env.client(Config{Seed: true, UnchokeSlots: 1, UploadLimiter: seedLim})
+	seed.Start()
+	for i := 0; i < 4; i++ {
+		env.client(Config{UploadLimiter: NewLimiter(env.engine, 1)}).Start()
+	}
+	maxUnchoked := 0
+	for i := 0; i < 30; i++ {
+		env.engine.RunFor(5 * time.Second)
+		unchoked := 0
+		for _, p := range seed.peers {
+			if !p.closed && !p.amChoking {
+				unchoked++
+			}
+		}
+		if unchoked > maxUnchoked {
+			maxUnchoked = unchoked
+		}
+	}
+	if maxUnchoked < 2 {
+		t.Errorf("seed never unchoked more than %d peer(s); optimistic unchoke is consuming the regular slot", maxUnchoked)
+	}
+	if maxUnchoked > 2 {
+		t.Errorf("seed unchoked %d peers at once; limit is 1 regular + 1 optimistic", maxUnchoked)
+	}
+}
+
 func TestUploadPacingKeepsSendBufferShallow(t *testing.T) {
 	// A seed serving a slow peer must not queue the whole file into the
 	// TCP send buffer: control messages would be stuck behind it.

@@ -45,7 +45,7 @@ type Config struct {
 
 	MaxPeers           int           // connection cap (default 20)
 	PipelineDepth      int           // outstanding block requests per peer (default 8)
-	UnchokeSlots       int           // simultaneous unchokes incl. optimistic (default 4)
+	UnchokeSlots       int           // regular tit-for-tat unchokes; the optimistic unchoke is additive (default 4)
 	ChokeInterval      time.Duration // choker cadence (default 10s)
 	OptimisticInterval time.Duration // optimistic unchoke rotation (default 30s)
 	RequestTimeout     time.Duration // re-request stalled blocks (default 45s)
@@ -231,6 +231,7 @@ func NewClient(cfg Config) *Client {
 			}
 		}
 	}
+	c.engine.Register(c)
 	return c
 }
 

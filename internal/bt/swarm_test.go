@@ -164,8 +164,9 @@ func TestChokerRespectsSlotLimit(t *testing.T) {
 			unchoked++
 		}
 	}
-	if unchoked > 2 {
-		t.Errorf("%d peers unchoked, slot limit 2", unchoked)
+	// UnchokeSlots regular slots plus the additive optimistic unchoke.
+	if unchoked > 3 {
+		t.Errorf("%d peers unchoked, limit is 2 regular + 1 optimistic", unchoked)
 	}
 }
 

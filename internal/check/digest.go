@@ -1,0 +1,67 @@
+package check
+
+import "math"
+
+// Digest accumulates a canonical serialization of simulation state into a
+// 64-bit FNV-1a sum. Components feed it through DigestInto in a fixed field
+// order; two runs produce the same sum iff they fed identical byte
+// sequences, which is the repo's working definition of "same state".
+//
+// FNV-1a is not cryptographic — it only needs to make unequal states
+// collide with negligible probability across the few thousand records of a
+// digest stream — and it keeps the digest path free of dependencies and
+// allocations.
+type Digest struct {
+	sum uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewDigest returns a digest at the FNV-1a offset basis.
+func NewDigest() *Digest { return &Digest{sum: fnvOffset64} }
+
+// Sum returns the current hash value.
+func (d *Digest) Sum() uint64 { return d.sum }
+
+func (d *Digest) byte(b byte) {
+	d.sum = (d.sum ^ uint64(b)) * fnvPrime64
+}
+
+// U64 mixes in v as 8 little-endian bytes.
+func (d *Digest) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v))
+		v >>= 8
+	}
+}
+
+// I64 mixes in a signed value.
+func (d *Digest) I64(v int64) { d.U64(uint64(v)) }
+
+// Int mixes in an int.
+func (d *Digest) Int(v int) { d.U64(uint64(int64(v))) }
+
+// F64 mixes in a float by bit pattern, so -0 and NaN payloads distinguish
+// states exactly as the model does.
+func (d *Digest) F64(v float64) { d.U64(math.Float64bits(v)) }
+
+// Bool mixes in a flag.
+func (d *Digest) Bool(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+// Str mixes in a length-prefixed string, so ("ab","c") and ("a","bc")
+// produce different sums.
+func (d *Digest) Str(s string) {
+	d.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}

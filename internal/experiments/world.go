@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
@@ -25,6 +27,10 @@ type World struct {
 	// tracing (EnableTracing) is on. Experiment code may add its own watch
 	// points to it.
 	Rec *trace.Recorder
+
+	// Chk is the world's invariant checker, non-nil only while package-level
+	// checking (EnableChecking) is on.
+	Chk *check.Checker
 
 	seed   int64
 	nextIP netem.IP
@@ -62,6 +68,90 @@ func DisableTracing() {
 	tracing.enabled = false
 }
 
+// checking is the package-level invariant-checker configuration the CLIs set
+// with EnableChecking / EnableDigests. Like tracing, it is shared across
+// worker-pool goroutines, so everything — including the accumulated digest
+// streams and violation count — lives behind one mutex.
+var checking struct {
+	mu          sync.Mutex
+	enabled     bool
+	every       int
+	digests     bool
+	digestEvery int
+	violations  int
+	streams     []check.Stream
+}
+
+func init() {
+	// WP2P_CHECK is the CI hook: a non-empty value arms invariant checking
+	// for every world built by any test or binary in the process, without
+	// each call site needing a flag.
+	if os.Getenv("WP2P_CHECK") != "" {
+		EnableChecking(0)
+	}
+}
+
+// EnableChecking attaches an invariant checker to every subsequently created
+// World, sweeping all registered components every `every` events (0 selects
+// the check package default). A violation dumps the world's flight-recorder
+// tail (when tracing is also on) and panics with the seed, failing the run
+// fast and reproducibly.
+func EnableChecking(every int) {
+	checking.mu.Lock()
+	defer checking.mu.Unlock()
+	checking.enabled = true
+	checking.every = every
+}
+
+// EnableDigests additionally records determinism digests every `every`
+// events (0 selects the check package default); streams accumulate across
+// worlds and are written with WriteDigests. Implies EnableChecking.
+func EnableDigests(every int) {
+	checking.mu.Lock()
+	checking.digests = true
+	checking.digestEvery = every
+	enabled := checking.enabled
+	checking.mu.Unlock()
+	if !enabled {
+		EnableChecking(0)
+	}
+}
+
+// DisableChecking stops attaching checkers to new worlds and clears any
+// accumulated digest streams and violation count.
+func DisableChecking() {
+	checking.mu.Lock()
+	defer checking.mu.Unlock()
+	checking.enabled = false
+	checking.digests = false
+	checking.violations = 0
+	checking.streams = nil
+}
+
+// CheckViolations reports invariant violations observed so far (only ever
+// non-zero when a custom OnViolation swallowed them; the default panics).
+func CheckViolations() int {
+	checking.mu.Lock()
+	defer checking.mu.Unlock()
+	return checking.violations
+}
+
+// DigestStreams returns the digest streams collected from finished worlds,
+// in canonical order — byte-identical output regardless of -parallel
+// scheduling.
+func DigestStreams() []check.Stream {
+	checking.mu.Lock()
+	defer checking.mu.Unlock()
+	out := append([]check.Stream(nil), checking.streams...)
+	check.SortStreams(out)
+	return out
+}
+
+// WriteDigests writes the collected streams in wp2p.digest.v1 format.
+func WriteDigests(w io.Writer) error {
+	return check.WriteStreams(w, DigestStreams())
+}
+
 // NewWorld builds a world with the given seed and tracker announce
 // interval (zero selects the bt default).
 func NewWorld(seed int64, announce time.Duration) *World {
@@ -86,7 +176,32 @@ func NewWorldNet(seed int64, announce time.Duration, netCfg netem.NetworkConfig)
 		trace.WatchNetwork(w.Rec, "net", w.Net)
 	}
 	tracing.mu.Unlock()
+	checking.mu.Lock()
+	if checking.enabled {
+		w.Chk = check.Attach(e, check.Config{
+			Every:       int64(checking.every),
+			Digests:     checking.digests,
+			DigestEvery: int64(checking.digestEvery),
+			OnViolation: w.onViolation,
+		})
+	}
+	checking.mu.Unlock()
 	return w
+}
+
+// onViolation is the experiment-layer violation handler: count it, dump the
+// flight-recorder tail if one is attached (the events leading up to the
+// violation are exactly what debugging needs), then fail fast with the seed
+// so the run is reproducible.
+func (w *World) onViolation(v check.Violation) {
+	checking.mu.Lock()
+	checking.violations++
+	checking.mu.Unlock()
+	if w.Rec != nil {
+		fmt.Fprintf(os.Stderr, "== invariant violation seed=%d: recorder tail ==\n", w.seed)
+		w.Rec.Dump(os.Stderr)
+	}
+	panic(fmt.Sprintf("invariant violation (seed %d): %s", w.seed, v))
 }
 
 // Finish closes out one world's run: its registry folds into the
@@ -96,6 +211,23 @@ func NewWorldNet(seed int64, announce time.Duration, netCfg netem.NetworkConfig)
 func (w *World) Finish(col *stats.Collector) {
 	if col != nil {
 		col.Add(w.Engine.Stats())
+	}
+	if w.Chk != nil {
+		w.Chk.Finish()
+		checking.mu.Lock()
+		if checking.digests {
+			st := check.Stream{
+				Label:   fmt.Sprintf("seed=%d", w.seed),
+				Records: w.Chk.Records(),
+			}
+			if w.Rec != nil {
+				for _, ev := range w.Rec.Events() {
+					st.Tail = append(st.Tail, ev.String())
+				}
+			}
+			checking.streams = append(checking.streams, st)
+		}
+		checking.mu.Unlock()
 	}
 	if w.Rec == nil {
 		return

@@ -3,6 +3,7 @@ package netem
 import (
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/sim"
 )
 
@@ -51,7 +52,28 @@ func NewAccessLink(engine *sim.Engine, cfg AccessLinkConfig) *AccessLink {
 	}
 	l.up.bindStats("netem.wired")
 	l.down.bindStats("netem.wired")
+	engine.Register(l)
 	return l
+}
+
+// SetCheckEnabled arms the strict data-path assertions on both directions
+// (check.Strict).
+func (l *AccessLink) SetCheckEnabled(on bool) {
+	l.up.checkEnabled = on
+	l.down.checkEnabled = on
+}
+
+// CheckState audits byte conservation in both directions (check.Checkable).
+func (l *AccessLink) CheckState(report func(invariant, detail string)) {
+	l.up.checkState("netem.wired.up", report)
+	l.down.checkState("netem.wired.down", report)
+}
+
+// DigestInto hashes both directions' state (check.Digestable).
+func (l *AccessLink) DigestInto(d *check.Digest) {
+	d.Str("netem.AccessLink")
+	l.up.digestInto(d)
+	l.down.digestInto(d)
 }
 
 // SendUp transmits toward the cloud at the upstream rate.
@@ -140,7 +162,24 @@ func NewWirelessChannel(engine *sim.Engine, cfg WirelessConfig) *WirelessChannel
 	}
 	c.x.lossProb = func(size int) float64 { return PacketErrorRate(c.ber, size) }
 	c.x.bindStats("netem.wireless")
+	engine.Register(c)
 	return c
+}
+
+// SetCheckEnabled arms the strict data-path assertions (check.Strict).
+func (c *WirelessChannel) SetCheckEnabled(on bool) { c.x.checkEnabled = on }
+
+// CheckState audits byte conservation on the shared channel
+// (check.Checkable).
+func (c *WirelessChannel) CheckState(report func(invariant, detail string)) {
+	c.x.checkState("netem.wireless", report)
+}
+
+// DigestInto hashes the channel state (check.Digestable).
+func (c *WirelessChannel) DigestInto(d *check.Digest) {
+	d.Str("netem.WirelessChannel")
+	d.F64(c.ber)
+	c.x.digestInto(d)
 }
 
 // SendUp transmits a station's packet toward the cloud over the shared

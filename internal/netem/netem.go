@@ -116,6 +116,7 @@ type Packet struct {
 
 	pool   *PacketPool // origin free-list; nil for hand-built packets
 	pooled bool        // currently parked in the free-list (double-free guard)
+	gen    uint32      // bumped on each recycle; use-after-release detector
 }
 
 // Clone returns a shallow copy of the packet, drawn from the same pool when
@@ -130,9 +131,10 @@ func (p *Packet) Clone() *Packet {
 	} else {
 		c = &Packet{}
 	}
-	pool := c.pool
+	pool, gen := c.pool, c.gen
 	*c = *p
 	c.pool = pool
+	c.gen = gen
 	c.pooled = false
 	return c
 }

@@ -2,8 +2,10 @@ package netem
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
 )
@@ -33,6 +35,10 @@ type Network struct {
 	// hopFree recycles the cloud-crossing continuations scheduled by Deliver,
 	// so routing a packet across the core allocates nothing in steady state.
 	hopFree *cloudHop
+
+	// checkEnabled arms the strict data-path assertions (generation-stamp
+	// verification across the cloud crossing); see SetCheckEnabled.
+	checkEnabled bool
 
 	regRouted      *stats.Counter
 	regNoRoute     *stats.Counter
@@ -81,7 +87,7 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 	if cfg.CloudDelay == 0 {
 		cfg.CloudDelay = DefaultCloudDelay
 	}
-	return &Network{
+	n := &Network{
 		engine:         engine,
 		ifaces:         make(map[IP]*Iface),
 		cloudDelay:     cfg.CloudDelay,
@@ -94,6 +100,8 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		regNoRoute:     engine.Stats().Counter("netem.drops.no_route"),
 		regPartitioned: engine.Stats().Counter("netem.drops.partitioned"),
 	}
+	engine.Register(n)
+	return n
 }
 
 // SetPairDelay overrides the core one-way delay between two addresses
@@ -313,6 +321,7 @@ type cloudHop struct {
 	pkt  *Packet
 	next *cloudHop
 	fn   func()
+	gen  uint32 // pkt's generation when the crossing was scheduled
 }
 
 // Deliver receives a packet that has crossed the sender's access medium and
@@ -327,14 +336,18 @@ func (n *Network) Deliver(pkt *Packet) {
 		h.fn = h.run
 	}
 	h.pkt = pkt
+	h.gen = pkt.gen
 	n.engine.Schedule(n.delayFor(pkt.Src.IP, pkt.Dst.IP), h.fn)
 }
 
 func (h *cloudHop) run() {
-	n, pkt := h.n, h.pkt
+	n, pkt, gen := h.n, h.pkt, h.gen
 	h.pkt = nil
 	h.next = n.hopFree
 	n.hopFree = h
+	if n.checkEnabled && (pkt.pooled || pkt.gen != gen) {
+		panic("netem: packet recycled while crossing the cloud (use-after-release)")
+	}
 	if len(n.blocked) > 0 && n.blocked[pairOf(pkt.Src.IP, pkt.Dst.IP)] {
 		n.drop(pkt, DropPartitioned)
 		pkt.Release()
@@ -368,6 +381,58 @@ func (ifc *Iface) Deliver(pkt *Packet) {
 		}
 		in.Release()
 	}
+}
+
+// SetCheckEnabled arms the strict data-path assertions on the routing core
+// (check.Strict).
+func (n *Network) SetCheckEnabled(on bool) { n.checkEnabled = on }
+
+// CheckState audits the routing layer (check.Checkable): packet-pool
+// ownership, interface-map coherence, and route-cache entries that survived
+// the current topology generation.
+func (n *Network) CheckState(report func(invariant, detail string)) {
+	n.pool.checkState(report)
+	for _, ip := range n.sortedIPs() {
+		if ifc := n.ifaces[ip]; ifc.ip != ip {
+			report("netem.iface_key", fmt.Sprintf("iface bound at %s reports address %s", ip, ifc.ip))
+		}
+	}
+	for i := range n.routeCache {
+		e := &n.routeCache[i]
+		if e.gen != n.gen {
+			continue
+		}
+		if n.ifaces[e.ip] != e.ifc {
+			report("netem.route_cache", fmt.Sprintf("current-generation cache entry for %s disagrees with the interface map", e.ip))
+		}
+	}
+}
+
+// DigestInto hashes the routing layer's state (check.Digestable).
+func (n *Network) DigestInto(d *check.Digest) {
+	d.Str("netem.Network")
+	d.I64(int64(n.cloudDelay))
+	d.I64(n.pool.live)
+	d.Int(len(n.blocked))
+	ips := n.sortedIPs()
+	d.Int(len(ips))
+	for _, ip := range ips {
+		ifc := n.ifaces[ip]
+		d.U64(uint64(ip))
+		d.I64(ifc.stats.TxPackets)
+		d.I64(ifc.stats.TxBytes)
+	}
+}
+
+// sortedIPs returns the attached addresses in ascending order, the
+// deterministic iteration order check hooks need over the ifaces map.
+func (n *Network) sortedIPs() []IP {
+	ips := make([]IP, 0, len(n.ifaces))
+	for ip := range n.ifaces {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	return ips
 }
 
 // applyFilters walks the filter chain over interface-owned scratch. A packet

@@ -13,8 +13,9 @@ import "github.com/wp2p/wp2p/internal/stats"
 // miss counter flat (every Get served from the free-list) and live_peak
 // equal to the high-water mark of in-flight packets.
 type PacketPool struct {
-	free []*Packet
-	live int64
+	free  []*Packet
+	live  int64
+	alloc int64 // structs ever minted; conservation: alloc == live + len(free)
 
 	regHits   *stats.Counter
 	regMisses *stats.Counter
@@ -41,6 +42,7 @@ func (pp *PacketPool) Get() *Packet {
 		pp.regHits.Inc()
 	} else {
 		p = &Packet{pool: pp}
+		pp.alloc++
 		pp.regMisses.Inc()
 	}
 	pp.live++
@@ -54,10 +56,28 @@ func (pp *PacketPool) put(p *Packet) {
 	if p.pooled {
 		panic("netem: Packet released twice")
 	}
-	*p = Packet{pool: pp, pooled: true}
+	*p = Packet{pool: pp, pooled: true, gen: p.gen + 1}
 	pp.live--
 	pp.free = append(pp.free, p)
 }
 
 // Live reports packets currently checked out of the pool.
 func (pp *PacketPool) Live() int64 { return pp.live }
+
+// checkState audits pool ownership: every struct ever minted is either
+// checked out (live) or parked in the free-list, never both, never neither.
+func (pp *PacketPool) checkState(report func(invariant, detail string)) {
+	if pp.live < 0 {
+		report("netem.pool.live", "live packet count negative: "+itoa(pp.live))
+	}
+	if got := pp.live + int64(len(pp.free)); got != pp.alloc {
+		report("netem.pool.conservation",
+			"live "+itoa(pp.live)+" + free "+itoa(int64(len(pp.free)))+" != allocated "+itoa(pp.alloc))
+	}
+	for _, p := range pp.free {
+		if !p.pooled {
+			report("netem.pool.free_unpooled", "free-list holds a packet not marked pooled")
+			break
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package netem
 
 import (
+	"strconv"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
 )
@@ -41,6 +43,17 @@ type transmitter struct {
 	busy  bool
 	stats Stats
 
+	// Conservation ledger (plain increments, always on): every packet
+	// offered to the transmitter is eventually dropped, corrupted, queued,
+	// on the wire, propagating, or delivered — see checkState.
+	offered      int64
+	delivered    int64
+	propInFlight int64
+	// checkEnabled arms the strict data-path assertions (generation-stamp
+	// verification across the propagation hop); set via the owning medium's
+	// SetCheckEnabled.
+	checkEnabled bool
+
 	// cur is the packet being serialized, valid while busy; onTxDone is the
 	// pre-bound completion consuming it.
 	cur        queued
@@ -68,13 +81,20 @@ type xmitHop struct {
 	deliver Deliver
 	next    *xmitHop
 	fn      func()
+	gen     uint32 // pkt's generation when the hop was scheduled
 }
 
 func (h *xmitHop) run() {
-	pkt, deliver := h.pkt, h.deliver
+	x := h.x
+	pkt, deliver, gen := h.pkt, h.deliver, h.gen
 	h.pkt, h.deliver = nil, nil
-	h.next = h.x.hopFree
-	h.x.hopFree = h
+	h.next = x.hopFree
+	x.hopFree = h
+	x.propInFlight--
+	x.delivered++
+	if x.checkEnabled && (pkt.pooled || pkt.gen != gen) {
+		panic("netem: packet recycled while crossing propagation delay (use-after-release)")
+	}
 	deliver.Deliver(pkt)
 }
 
@@ -95,6 +115,7 @@ func (x *transmitter) bindStats(prefix string) {
 // enqueue admits a packet for transmission, dropping it if the buffer is
 // full. The transmitter owns the packet until it delivers or drops it.
 func (x *transmitter) enqueue(pkt *Packet, deliver Deliver) {
+	x.offered++
 	if x.queueCap > 0 && len(x.queue) >= x.queueCap {
 		x.stats.Drops++
 		x.regOverflow.Inc()
@@ -151,6 +172,8 @@ func (x *transmitter) txDone() {
 			h.fn = h.run
 		}
 		h.pkt, h.deliver = item.pkt, item.deliver
+		h.gen = item.pkt.gen
+		x.propInFlight++
 		x.engine.Schedule(x.delay, h.fn)
 	}
 	x.startNext()
@@ -175,3 +198,49 @@ func (x *transmitter) inFlight() int {
 	}
 	return n
 }
+
+// checkState audits the transmitter's byte-conservation ledger: every
+// packet ever offered is accounted for as dropped, corrupted, queued, on
+// the wire, propagating, or delivered.
+func (x *transmitter) checkState(name string, report func(invariant, detail string)) {
+	busy := int64(0)
+	if x.busy {
+		busy = 1
+		if x.cur.pkt == nil {
+			report(name+".wire", "transmitter busy with no current packet")
+		} else if x.cur.pkt.pooled {
+			report(name+".wire_pooled", "packet on the wire is parked in the free-list")
+		}
+	}
+	got := x.stats.Drops + x.stats.Corrupted + x.delivered + int64(len(x.queue)) + busy + x.propInFlight
+	if got != x.offered {
+		report(name+".conservation", "offered "+itoa(x.offered)+
+			" != dropped "+itoa(x.stats.Drops)+" + corrupted "+itoa(x.stats.Corrupted)+
+			" + delivered "+itoa(x.delivered)+" + queued "+itoa(int64(len(x.queue)))+
+			" + wire "+itoa(busy)+" + propagating "+itoa(x.propInFlight))
+	}
+	for _, item := range x.queue {
+		if item.pkt == nil || item.pkt.pooled {
+			report(name+".queue_pooled", "queued packet is nil or parked in the free-list")
+			break
+		}
+	}
+}
+
+// digestInto hashes the transmitter's externally observable state.
+func (x *transmitter) digestInto(d *check.Digest) {
+	d.I64(int64(x.rate))
+	d.I64(x.offered)
+	d.I64(x.delivered)
+	d.I64(x.propInFlight)
+	d.I64(x.stats.TxPackets)
+	d.I64(x.stats.TxBytes)
+	d.I64(x.stats.Drops)
+	d.I64(x.stats.Corrupted)
+	d.Int(len(x.queue))
+	d.Bool(x.busy)
+}
+
+// itoa is strconv.FormatInt(v, 10); the invariant reports build their
+// detail strings without fmt to keep this file dependency-light.
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -43,6 +43,17 @@ type Engine struct {
 	statsCancelled *stats.Counter
 	statsFreeHits  *stats.Counter
 	statsHeapDepth *stats.Gauge
+
+	// components holds every model component built on this engine, in
+	// construction order. Construction order is deterministic for a given
+	// world builder, so walks over this slice (invariant sweeps, state
+	// digests) are reproducible without sorting.
+	components []any
+	onRegister func(c any)
+	// afterStep, when non-nil, runs after every fired event. It is the only
+	// hook the hot path pays for — a single nil check per Step — and is how
+	// the runtime invariant checker (internal/check) observes the run.
+	afterStep func()
 }
 
 // Option configures an Engine.
@@ -82,6 +93,49 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Rand returns the engine's deterministic random source. Model code must
 // draw all randomness from this source to preserve reproducibility.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Register records a component built on this engine. Components register
+// themselves at construction (NewNetwork, NewAccessLink, NewStack, ...), so
+// the slice reflects deterministic construction order. Cross-cutting tools
+// walk it looking for optional capabilities — the invariant checker for
+// CheckState/DigestInto hooks, for example — without the engine knowing
+// their types.
+func (e *Engine) Register(c any) {
+	if c == nil {
+		return
+	}
+	if e.components == nil {
+		// Sized for the largest figure worlds so registration never
+		// reallocates mid-run; engines that register nothing pay nothing.
+		e.components = make([]any, 0, 128)
+	}
+	e.components = append(e.components, c)
+	if e.onRegister != nil {
+		e.onRegister(c)
+	}
+}
+
+// Components returns the registered components in registration order. The
+// returned slice is the engine's own; callers must not mutate it.
+func (e *Engine) Components() []any { return e.components }
+
+// OnRegister installs a hook invoked for every component registered after
+// this call (components already present are not replayed; callers wanting
+// them walk Components themselves). A nil fn clears the hook. At most one
+// hook is active at a time.
+func (e *Engine) OnRegister(fn func(c any)) { e.onRegister = fn }
+
+// SetAfterStep installs a hook that runs after every fired event, with the
+// clock already advanced and the event callback returned. A nil fn clears
+// it. The hook must not schedule events or draw randomness if the run's
+// determinism relative to hook-free runs matters (the invariant checker
+// obeys this).
+func (e *Engine) SetAfterStep(fn func()) { e.afterStep = fn }
+
+// Seq returns the number of events ever scheduled — the next event's
+// sequence stamp. Together with Now and Pending it summarizes engine
+// progress for state digests.
+func (e *Engine) Seq() uint64 { return e.seq }
 
 // Event is a scheduled callback. It can be cancelled before it fires.
 //
@@ -167,6 +221,9 @@ func (e *Engine) Step() bool {
 	e.statsFired.Inc()
 	fn()
 	e.release(ev)
+	if e.afterStep != nil {
+		e.afterStep()
+	}
 	return true
 }
 
@@ -209,6 +266,31 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // String describes the engine state, for debugging.
 func (e *Engine) String() string {
 	return fmt.Sprintf("sim.Engine{now: %v, pending: %d}", e.now, len(e.queue))
+}
+
+// CheckInvariants verifies the scheduler's internal invariants — heap
+// ordering, index coherence, and that no pending event predates the clock —
+// reporting each failure as report(invariant, detail). The engine validates
+// itself so the invariant checker (internal/check) needs no access to the
+// unexported heap; sim has no dependency on that package.
+func (e *Engine) CheckInvariants(report func(invariant, detail string)) {
+	for i, ev := range e.queue {
+		if ev.index != i {
+			report("sim.heap_index", fmt.Sprintf("queue[%d].index = %d", i, ev.index))
+		}
+		if ev.expired {
+			report("sim.heap_expired", fmt.Sprintf("queue[%d] (at=%v seq=%d) already expired", i, ev.at, ev.seq))
+		}
+		if ev.at < e.now {
+			report("sim.event_in_past", fmt.Sprintf("queue[%d] at=%v behind clock %v", i, ev.at, e.now))
+		}
+		if i > 0 {
+			if parent := e.queue[(i-1)/2]; eventLess(ev, parent) {
+				report("sim.heap_order", fmt.Sprintf("queue[%d] (at=%v seq=%d) sorts before its parent (at=%v seq=%d)",
+					i, ev.at, ev.seq, parent.at, parent.seq))
+			}
+		}
+	}
 }
 
 // release clears an expired event and parks it for reuse. The free list is

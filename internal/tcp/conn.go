@@ -1,8 +1,10 @@
 package tcp
 
 import (
+	"fmt"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 )
@@ -216,9 +218,72 @@ func (c *Conn) teardown(err error) {
 	c.rtxTimer.Stop()
 	c.delAckTimer.Stop()
 	c.stack.removeConn(c)
+	for _, fn := range c.stack.closeObs {
+		fn(c, err)
+	}
 	if c.OnClose != nil {
 		c.OnClose(err)
 	}
+}
+
+// checkState audits the connection's sequence-space invariants for the
+// stack's check sweep.
+func (c *Conn) checkState(report func(invariant, detail string)) {
+	id := c.local.String() + "->" + c.remote.String()
+	if c.sndUna > c.sndNxt {
+		report("tcp.seq.una_le_nxt", fmt.Sprintf("%s: sndUna %d > sndNxt %d", id, c.sndUna, c.sndNxt))
+	}
+	if c.sndNxt > c.sndBufTail {
+		report("tcp.seq.nxt_le_tail", fmt.Sprintf("%s: sndNxt %d > sndBufTail %d", id, c.sndNxt, c.sndBufTail))
+	}
+	if c.maxSent > c.sndBufTail {
+		report("tcp.seq.maxsent", fmt.Sprintf("%s: maxSent %d > sndBufTail %d", id, c.maxSent, c.sndBufTail))
+	}
+	if c.stats.BytesAcked > c.sndBufTail {
+		report("tcp.seq.acked", fmt.Sprintf("%s: BytesAcked %d > sndBufTail %d (peer acked bytes never written)", id, c.stats.BytesAcked, c.sndBufTail))
+	}
+	if c.stats.BytesDelivered > c.rcvNxt {
+		report("tcp.seq.delivered", fmt.Sprintf("%s: BytesDelivered %d > rcvNxt %d (delivered bytes never received in order)", id, c.stats.BytesDelivered, c.rcvNxt))
+	}
+	if c.state == StateEstablished && c.cwnd < MSS {
+		report("tcp.cwnd_floor", fmt.Sprintf("%s: cwnd %.0f below one MSS", id, c.cwnd))
+	}
+	prev := c.rcvNxt
+	for _, iv := range c.oooRecvd {
+		if iv.start <= prev || iv.end <= iv.start {
+			report("tcp.ooo_intervals", fmt.Sprintf("%s: out-of-order set not sorted/disjoint beyond rcvNxt %d: [%d,%d)", id, c.rcvNxt, iv.start, iv.end))
+			break
+		}
+		prev = iv.end
+	}
+}
+
+// digestInto hashes the connection's transport state for the stack digest.
+func (c *Conn) digestInto(d *check.Digest) {
+	d.U64(uint64(c.local.IP))
+	d.U64(uint64(c.local.Port))
+	d.U64(uint64(c.remote.IP))
+	d.U64(uint64(c.remote.Port))
+	d.Int(int(c.state))
+	d.I64(c.sndUna)
+	d.I64(c.sndNxt)
+	d.I64(c.maxSent)
+	d.I64(c.sndBufTail)
+	d.F64(c.cwnd)
+	d.F64(c.ssthresh)
+	d.Int(c.dupAcks)
+	d.Bool(c.inRecovery)
+	d.I64(int64(c.rto))
+	d.I64(int64(c.srtt))
+	d.I64(c.rcvNxt)
+	d.Int(len(c.oooRecvd))
+	for _, iv := range c.oooRecvd {
+		d.I64(iv.start)
+		d.I64(iv.end)
+	}
+	d.I64(c.stats.BytesAcked)
+	d.I64(c.stats.BytesDelivered)
+	d.I64(c.stats.Retransmits)
 }
 
 // --- segment transmission ---

@@ -1,6 +1,10 @@
 package tcp
 
-import "github.com/wp2p/wp2p/internal/stats"
+import (
+	"fmt"
+
+	"github.com/wp2p/wp2p/internal/stats"
+)
 
 // SegmentPool is a free-list of Segment structs, mirroring the sim.Event and
 // netem.PacketPool contracts: single-goroutine (pools are per-stack and
@@ -13,8 +17,9 @@ import "github.com/wp2p/wp2p/internal/stats"
 // tcp.pool.misses / tcp.pool.live_peak (instruments are shared by all pools
 // on the engine, reading as per-engine totals like the other tcp counters).
 type SegmentPool struct {
-	free []*Segment
-	live int64
+	free  []*Segment
+	live  int64
+	alloc int64 // structs ever minted; conservation: alloc == live + len(free)
 
 	regHits   *stats.Counter
 	regMisses *stats.Counter
@@ -44,6 +49,7 @@ func (sp *SegmentPool) Get() *Segment {
 		sp.regHits.Inc()
 	} else {
 		s = &Segment{pool: sp}
+		sp.alloc++
 		sp.regMisses.Inc()
 	}
 	sp.live++
@@ -61,10 +67,28 @@ func (sp *SegmentPool) put(s *Segment) {
 		s.Msgs[i] = AppMessage{}
 	}
 	msgs := s.Msgs[:0]
-	*s = Segment{pool: sp, pooled: true, Msgs: msgs}
+	*s = Segment{pool: sp, pooled: true, Msgs: msgs, gen: s.gen + 1}
 	sp.live--
 	sp.free = append(sp.free, s)
 }
 
 // Live reports segments currently checked out of the pool.
 func (sp *SegmentPool) Live() int64 { return sp.live }
+
+// checkState audits pool ownership: every struct ever minted is either
+// checked out or parked in the free-list.
+func (sp *SegmentPool) checkState(report func(invariant, detail string)) {
+	if sp.live < 0 {
+		report("tcp.pool.live", fmt.Sprintf("live segment count negative: %d", sp.live))
+	}
+	if got := sp.live + int64(len(sp.free)); got != sp.alloc {
+		report("tcp.pool.conservation",
+			fmt.Sprintf("live %d + free %d != allocated %d", sp.live, len(sp.free), sp.alloc))
+	}
+	for _, s := range sp.free {
+		if !s.pooled {
+			report("tcp.pool.free_unpooled", "free-list holds a segment not marked pooled")
+			break
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+)
+
+func TestAllocPortSkipsListeners(t *testing.T) {
+	w := newWorld(20)
+	s := w.wiredHost(1)
+	s.Listen(ephemeralBase, func(c *Conn) {})
+	s.Listen(ephemeralBase+1, func(c *Conn) {})
+	if p := s.allocPort(); p != ephemeralBase+2 {
+		t.Errorf("allocPort = %d, want %d (listener ports skipped)", p, ephemeralBase+2)
+	}
+}
+
+func TestAllocPortWraparoundSkipsLivePorts(t *testing.T) {
+	// After the 16-bit counter wraps past 65535 back to 49152, allocPort
+	// must not hand out a port that a live connection still occupies: the
+	// resulting four-tuple collision would silently overwrite the demux
+	// entry and orphan the established conn.
+	w := newWorld(21)
+	a, b := w.wiredHost(1), w.wiredHost(2)
+	c1, _ := connect(t, w, a, b, 80)
+	first := c1.LocalAddr().Port
+	if first != ephemeralBase {
+		t.Fatalf("first ephemeral port = %d, want %d", first, ephemeralBase)
+	}
+
+	// Exhaust the counter so the next allocation wraps onto c1's port.
+	a.nextPort = 0xffff
+	a.allocPort() // 65535
+	// The wrapped counter now points at ephemeralBase == c1's local port.
+	if a.nextPort != ephemeralBase {
+		t.Fatalf("counter after wrap = %d, want %d", a.nextPort, ephemeralBase)
+	}
+
+	c2 := a.Dial(netem.Addr{IP: 2, Port: 80})
+	w.engine.RunFor(2 * time.Second)
+	if c2.State() != StateEstablished {
+		t.Fatalf("post-wrap dial not established: %v", c2.State())
+	}
+	if got := c2.LocalAddr().Port; got == first {
+		t.Fatalf("post-wrap dial reused live port %d: four-tuple collision", got)
+	}
+	// The original connection must still be reachable and intact.
+	if c1.State() != StateEstablished {
+		t.Errorf("original conn damaged by wraparound dial: %v", c1.State())
+	}
+	if a.NumConns() != 2 {
+		t.Errorf("NumConns = %d, want 2", a.NumConns())
+	}
+	var report []string
+	a.CheckState(func(inv, detail string) { report = append(report, inv+": "+detail) })
+	if len(report) != 0 {
+		t.Errorf("stack invariants violated after wraparound: %v", report)
+	}
+}
+
+func TestAllocPortReleasesClosedPorts(t *testing.T) {
+	// Ports return to the pool once their conn fully tears down: dialing,
+	// closing, and re-dialing forever must not exhaust the space.
+	w := newWorld(22)
+	a, b := w.wiredHost(1), w.wiredHost(2)
+	b.Listen(80, func(c *Conn) {})
+	for i := 0; i < 5; i++ {
+		c := a.Dial(netem.Addr{IP: 2, Port: 80})
+		w.engine.RunFor(2 * time.Second)
+		if c.State() != StateEstablished {
+			t.Fatalf("dial %d not established", i)
+		}
+		c.Close()
+		w.engine.RunFor(5 * time.Second)
+	}
+	if a.NumConns() != 0 {
+		t.Fatalf("%d conns still live after all closes", a.NumConns())
+	}
+	for p := uint32(ephemeralBase); p <= 0xffff; p++ {
+		if a.portInUse(uint16(p)) {
+			t.Errorf("port %d still marked in use after all conns closed", p)
+		}
+	}
+}
+
+func TestAllocPortExhaustionPanics(t *testing.T) {
+	w := newWorld(23)
+	s := w.wiredHost(1)
+	// Mark every ephemeral port as in use.
+	for p := uint32(ephemeralBase); p <= 0xffff; p++ {
+		s.Listen(uint16(p), func(c *Conn) {})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("allocPort did not panic with the port space exhausted")
+		}
+	}()
+	s.allocPort()
+}

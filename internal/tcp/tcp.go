@@ -13,8 +13,10 @@ package tcp
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
@@ -70,6 +72,7 @@ type Segment struct {
 
 	pool   *SegmentPool // origin free-list; nil for hand-built segments
 	pooled bool         // currently parked in the free-list (double-free guard)
+	gen    uint32       // bumped on each recycle; use-after-release detector
 }
 
 // Release returns the segment to its origin pool; hand-built segments are
@@ -182,6 +185,14 @@ type Stack struct {
 	pool      *SegmentPool
 	reg       stackStats
 
+	// closeObs observe every connection teardown, in registration order —
+	// the hook wP2P's AM filter uses to evict per-flow state.
+	closeObs []func(c *Conn, err error)
+
+	// checkEnabled arms the strict per-segment assertions; see
+	// SetCheckEnabled.
+	checkEnabled bool
+
 	// One-entry demux cache: bulk transfer delivers long runs of segments
 	// for the same connection, so remembering the last match skips hashing
 	// the four-tuple on most packets. Invalidated when the cached connection
@@ -237,6 +248,7 @@ func NewStack(engine *sim.Engine, iface *netem.Iface, cfg Config) *Stack {
 	}
 	s.reg.bind(engine.Stats())
 	iface.SetHandler(s)
+	engine.Register(s)
 	return s
 }
 
@@ -289,18 +301,45 @@ func (s *Stack) Dial(remote netem.Addr) *Conn {
 	return c
 }
 
+// ephemeralBase is the bottom of the ephemeral port range (IANA dynamic
+// range, 49152–65535).
+const ephemeralBase = 49152
+
+// allocPort returns the next free ephemeral port, skipping listeners and —
+// the fix for long churn scenarios that wrap the 16K range — ports still
+// held by live connections. Skipping any in-use local port is slightly
+// stronger than the four-tuple requires (the remote could differ), but it
+// is what real ephemeral allocators do. The in-use test scans the conns
+// map, which at simulation scale is far cheaper than maintaining a
+// per-port refcount on every dial and teardown. If every ephemeral port is
+// busy the host is irrecoverably leaking connections, so fail loudly
+// rather than loop forever.
 func (s *Stack) allocPort() uint16 {
-	for {
+	for tries := 0; tries < 1<<14; tries++ {
 		p := s.nextPort
 		s.nextPort++
-		if s.nextPort < 49152 {
-			s.nextPort = 49152
+		if s.nextPort < ephemeralBase {
+			s.nextPort = ephemeralBase
 		}
 		if _, taken := s.listeners[p]; taken {
 			continue
 		}
+		if s.portInUse(p) {
+			continue
+		}
 		return p
 	}
+	panic("tcp: ephemeral port space exhausted")
+}
+
+// portInUse reports whether any live connection occupies local port p.
+func (s *Stack) portInUse(p uint16) bool {
+	for key := range s.conns {
+		if key.local.Port == p {
+			return true
+		}
+	}
+	return false
 }
 
 // HandlePacket demultiplexes an arriving segment and releases it once the
@@ -310,6 +349,9 @@ func (s *Stack) HandlePacket(pkt *netem.Packet) {
 	seg, ok := pkt.Payload.(*Segment)
 	if !ok {
 		return // not TCP traffic
+	}
+	if s.checkEnabled && seg.pooled {
+		panic("tcp: segment arrived while parked in a free-list (use-after-release)")
 	}
 	s.dispatch(pkt, seg)
 	seg.Release()
@@ -370,3 +412,75 @@ func (s *Stack) removeConn(c *Conn) {
 
 // NumConns returns the number of live connections, for tests and metrics.
 func (s *Stack) NumConns() int { return len(s.conns) }
+
+// ConnsTo counts live connections whose remote endpoint is addr.
+func (s *Stack) ConnsTo(addr netem.Addr) int {
+	n := 0
+	for key := range s.conns {
+		if key.remote == addr {
+			n++
+		}
+	}
+	return n
+}
+
+// OnConnClose registers an observer invoked whenever one of the stack's
+// connections tears down, after the connection has been removed from the
+// demux tables (so ConnsTo no longer counts it) and before the conn's own
+// OnClose callback. Observers chain in registration order.
+func (s *Stack) OnConnClose(fn func(c *Conn, err error)) {
+	s.closeObs = append(s.closeObs, fn)
+}
+
+// SetCheckEnabled arms the strict per-segment assertions (check.Strict).
+func (s *Stack) SetCheckEnabled(on bool) { s.checkEnabled = on }
+
+// CheckState audits the stack (check.Checkable): demux-cache coherence,
+// segment-pool ownership, and every connection's sequence-space
+// invariants, in deterministic four-tuple order.
+func (s *Stack) CheckState(report func(invariant, detail string)) {
+	s.pool.checkState(report)
+	if s.lastConn != nil && s.conns[s.lastKey] != s.lastConn {
+		report("tcp.demux_cache", "cached connection disagrees with the conns map")
+	}
+	for _, key := range s.sortedKeys() {
+		s.conns[key].checkState(report)
+	}
+}
+
+// DigestInto hashes the stack's state (check.Digestable).
+func (s *Stack) DigestInto(d *check.Digest) {
+	d.Str("tcp.Stack")
+	d.U64(uint64(s.iface.IP()))
+	d.U64(uint64(s.nextPort))
+	d.I64(s.pool.live)
+	d.Int(len(s.listeners))
+	keys := s.sortedKeys()
+	d.Int(len(keys))
+	for _, key := range keys {
+		s.conns[key].digestInto(d)
+	}
+}
+
+// sortedKeys returns the four-tuples of live connections in a deterministic
+// order for check sweeps and digests.
+func (s *Stack) sortedKeys() []fourTuple {
+	keys := make([]fourTuple, 0, len(s.conns))
+	for key := range s.conns {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.local.IP != b.local.IP {
+			return a.local.IP < b.local.IP
+		}
+		if a.local.Port != b.local.Port {
+			return a.local.Port < b.local.Port
+		}
+		if a.remote.IP != b.remote.IP {
+			return a.remote.IP < b.remote.IP
+		}
+		return a.remote.Port < b.remote.Port
+	})
+	return keys
+}

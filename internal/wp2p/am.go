@@ -8,8 +8,11 @@
 package wp2p
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
@@ -92,6 +95,10 @@ type AMFilter struct {
 	cfg    AMConfig
 	flows  map[netem.Addr]*amFlow
 	stats  AMStats
+	// stack, when set via Track, ties flow lifetime to the connection
+	// table: flow state is evicted once the last connection to its remote
+	// is gone, so handoff churn cannot grow the map without bound.
+	stack *tcp.Stack
 	// segs supplies the pure-ACK segments the decouple path fabricates; the
 	// receiving fixed peer's stack releases them like any other segment.
 	segs *tcp.SegmentPool
@@ -105,7 +112,7 @@ type AMFilter struct {
 // NewAMFilter builds the filter; call Install to attach it to an interface.
 func NewAMFilter(engine *sim.Engine, cfg AMConfig) *AMFilter {
 	reg := engine.Stats()
-	return &AMFilter{
+	f := &AMFilter{
 		engine:        engine,
 		cfg:           cfg.withDefaults(),
 		flows:         make(map[netem.Addr]*amFlow),
@@ -115,6 +122,27 @@ func NewAMFilter(engine *sim.Engine, cfg AMConfig) *AMFilter {
 		regGateYoung:  reg.Counter("wp2p.am.gate_young"),
 		regGateMature: reg.Counter("wp2p.am.gate_mature"),
 	}
+	engine.Register(f)
+	return f
+}
+
+// Track ties flow lifetime to the stack's connection table: whenever the
+// last connection to a remote tears down, the remote's filter state is
+// evicted. Without this, handoff churn (every reconnect arrives from a new
+// address) grows the flow map without bound.
+func (f *AMFilter) Track(stack *tcp.Stack) {
+	f.stack = stack
+	stack.OnConnClose(func(c *tcp.Conn, _ error) {
+		f.evict(c.RemoteAddr())
+	})
+}
+
+// evict drops a remote's flow state unless a live connection still needs it.
+func (f *AMFilter) evict(remote netem.Addr) {
+	if f.stack != nil && f.stack.ConnsTo(remote) > 0 {
+		return
+	}
+	delete(f.flows, remote)
 }
 
 // Install attaches the filter to the interface: egress for manipulation,
@@ -157,8 +185,14 @@ func (f *AMFilter) Status(remote netem.Addr) FlowStatus {
 // observeIngress accumulates payload arriving from each remote — the
 // receiver-side estimate of the remote sender's congestion window.
 func (f *AMFilter) observeIngress(pkt *netem.Packet, out []*netem.Packet) []*netem.Packet {
-	if seg, ok := pkt.Payload.(*tcp.Segment); ok && seg.Len > 0 {
-		f.flow(pkt.Src).rcvd.Add(f.engine.Now(), int64(seg.Len))
+	if seg, ok := pkt.Payload.(*tcp.Segment); ok {
+		if seg.RST {
+			// The remote killed the connection; drop its filter state
+			// rather than letting a straggler resurrect it.
+			f.evict(pkt.Src)
+		} else if seg.Len > 0 {
+			f.flow(pkt.Src).rcvd.Add(f.engine.Now(), int64(seg.Len))
+		}
 	}
 	return append(out, pkt)
 }
@@ -167,6 +201,11 @@ func (f *AMFilter) observeIngress(pkt *netem.Packet, out []*netem.Packet) []*net
 func (f *AMFilter) filterEgress(pkt *netem.Packet, out []*netem.Packet) []*netem.Packet {
 	seg, ok := pkt.Payload.(*tcp.Segment)
 	if !ok || seg.SYN || seg.RST || !seg.HasAck {
+		if ok && seg.RST {
+			// Our stack is resetting the flow (e.g. a late segment for a
+			// dead connection); its filter state goes with it.
+			f.evict(pkt.Dst)
+		}
 		return append(out, pkt)
 	}
 	fl := f.flow(pkt.Dst)
@@ -221,6 +260,60 @@ func (f *AMFilter) filterEgress(pkt *netem.Packet, out []*netem.Packet) []*netem
 		}
 	}
 	return append(out, pkt)
+}
+
+// CheckState audits flow bookkeeping (check.Checkable): once Track ties the
+// filter to a stack, any flow whose remote has no live connection and has
+// been idle past a short grace window (covering in-flight RST exchanges) is
+// a leak — exactly the state handoff churn used to accumulate.
+func (f *AMFilter) CheckState(report func(invariant, detail string)) {
+	if f.stack == nil {
+		return
+	}
+	const grace = time.Second
+	now := f.engine.Now()
+	for _, remote := range f.sortedRemotes() {
+		fl := f.flows[remote]
+		if fl.lastActive+grace > now {
+			continue
+		}
+		if f.stack.ConnsTo(remote) == 0 {
+			report("wp2p.am.flow_leak",
+				fmt.Sprintf("flow state for %s with no live connection (idle %s)",
+					remote, now-fl.lastActive))
+		}
+	}
+}
+
+// DigestInto folds the filter state into a determinism digest
+// (check.Digestable), visiting flows in sorted remote order.
+func (f *AMFilter) DigestInto(d *check.Digest) {
+	d.Str("wp2p.AMFilter")
+	d.I64(f.stats.Decoupled)
+	d.I64(f.stats.DupAcksDropped)
+	d.Int(len(f.flows))
+	for _, remote := range f.sortedRemotes() {
+		fl := f.flows[remote]
+		d.U64(uint64(remote.IP))
+		d.U64(uint64(remote.Port))
+		d.I64(fl.lastAck)
+		d.Int(fl.dupCnt)
+		d.I64(int64(fl.lastActive))
+	}
+}
+
+func (f *AMFilter) sortedRemotes() []netem.Addr {
+	addrs := make([]netem.Addr, 0, len(f.flows))
+	for a := range f.flows {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].IP != addrs[j].IP {
+			return addrs[i].IP < addrs[j].IP
+		}
+		return addrs[i].Port < addrs[j].Port
+	})
+	return addrs
 }
 
 // Prune drops state for flows idle longer than age.

@@ -197,6 +197,42 @@ func TestAMPrune(t *testing.T) {
 	}
 }
 
+func TestAMFlowStateEvictedOnConnClose(t *testing.T) {
+	// Every reconnect during handoff churn arrives from a fresh remote
+	// ephemeral port, so without eviction the flow map grows one entry per
+	// connection forever. Track ties flow lifetime to the connection table:
+	// after the churn settles, no flow state may outlive its connection.
+	e := sim.NewEngine(sim.WithSeed(11))
+	n := netem.NewNetwork(e, netem.NetworkConfig{CloudDelay: 15 * time.Millisecond})
+	wired := netem.NewAccessLink(e, netem.AccessLinkConfig{UpRate: 1 * netem.MBps, DownRate: 1 * netem.MBps})
+	fixedStack := tcp.NewStack(e, n.Attach(2, wired, nil), tcp.Config{})
+	wl := netem.NewWirelessChannel(e, netem.WirelessConfig{Rate: 300 * netem.KBps})
+	mobIface := n.Attach(1, wl, nil)
+	mobStack := tcp.NewStack(e, mobIface, tcp.Config{})
+	f := NewAMFilter(e, AMConfig{})
+	f.Install(mobIface)
+	f.Track(mobStack)
+
+	mobStack.Listen(80, func(c *tcp.Conn) { c.Write(32 * 1024) })
+	peak := 0
+	for i := 0; i < 8; i++ {
+		c := fixedStack.Dial(netem.Addr{IP: 1, Port: 80})
+		c.Write(32 * 1024) // bidirectional: the mobile's ACKs piggyback on data
+		e.RunFor(5 * time.Second)
+		if got := f.Stats().Flows; got > peak {
+			peak = got
+		}
+		c.Close()
+		e.RunFor(5 * time.Second)
+	}
+	if peak == 0 {
+		t.Fatal("setup: filter never tracked a flow")
+	}
+	if got := f.Stats().Flows; got != 0 {
+		t.Errorf("Flows = %d after churn (peak %d); flow state leaked past conn close", got, peak)
+	}
+}
+
 func TestAMEndToEndImprovesLossyYoungFlow(t *testing.T) {
 	// Functional check on a real stack: a mobile receiver downloading over
 	// a lossy wireless leg with bidirectional traffic gets at least as much

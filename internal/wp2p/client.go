@@ -124,6 +124,7 @@ func New(cfg Config) *Client {
 	if cfg.AM != nil {
 		c.am = NewAMFilter(engine, *cfg.AM)
 		c.am.Install(iface)
+		c.am.Track(cfg.BT.Stack)
 	}
 	if cfg.LIHD != nil {
 		c.lihd = NewLIHD(engine, cfg.BT.UploadLimiter, c.BT, *cfg.LIHD)
