@@ -7,13 +7,21 @@
 // Usage:
 //
 //	wp2p-bench -label pr4-baseline [-out BENCH_PR4.json] [-scale 0.05] \
-//	    [-workloads fig2a,fig4a,flashcrowd]
+//	    [-shards n] [-workloads fig2a,fig4a,flashcrowd]
 //
 // Workloads:
 //
-//	fig2a      bi- vs uni-directional TCP over the lossy wireless leg
-//	fig4a      fixed-peer throughput under server mobility (BT swarm + handoffs)
-//	flashcrowd declarative flash-crowd scenario (examples/scenarios)
+//	fig2a            bi- vs uni-directional TCP over the lossy wireless leg
+//	fig4a            fixed-peer throughput under server mobility (BT swarm + handoffs)
+//	flashcrowd       declarative flash-crowd scenario (examples/scenarios)
+//	flashcrowd-large 10k-peer flash crowd, peer count pinned regardless of
+//	                 -scale — the sharded engine's scaling workload (not in
+//	                 the default set; takes minutes per op)
+//
+// -shards runs the shard-capable workloads (fig4a and the scenarios) on the
+// sharded engine with that many workers and stamps the count on the entry;
+// results are identical at any value, so entries differing only in -shards
+// measure the engine, not the workload.
 //
 // Each workload is deterministic for a given scale, so wall-clock deltas
 // between entries measure the code, not the inputs.
@@ -41,7 +49,16 @@ type workload struct {
 	run  func(scale float64) (*experiments.Result, error)
 }
 
-func workloads(flashCrowdPath string) []workload {
+func workloads(flashCrowdPath, flashCrowdLargePath string, shards int) []workload {
+	runScenario := func(path string) func(scale float64) (*experiments.Result, error) {
+		return func(scale float64) (*experiments.Result, error) {
+			spec, err := scenario.LoadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return scenario.RunOpts(spec, scale, scenario.Options{ShardWorkers: shards})
+		}
+	}
 	return []workload{
 		{name: "fig2a", run: func(scale float64) (*experiments.Result, error) {
 			return experiments.Fig2aBiVsUniTCP(experiments.Fig2aConfig{
@@ -52,15 +69,11 @@ func workloads(flashCrowdPath string) []workload {
 			return experiments.Fig4aServerMobility(experiments.Fig4aConfig{
 				Scale:   scale,
 				Periods: []time.Duration{0, time.Minute, 30 * time.Second},
+				Shards:  shards,
 			}), nil
 		}},
-		{name: "flashcrowd", run: func(scale float64) (*experiments.Result, error) {
-			spec, err := scenario.LoadFile(flashCrowdPath)
-			if err != nil {
-				return nil, err
-			}
-			return scenario.Run(spec, scale)
-		}},
+		{name: "flashcrowd", run: runScenario(flashCrowdPath)},
+		{name: "flashcrowd-large", run: runScenario(flashCrowdLargePath)},
 	}
 }
 
@@ -82,7 +95,9 @@ func main() {
 	out := flag.String("out", "BENCH_PR4.json", "bench file to append to (created if missing)")
 	scale := flag.Float64("scale", 0.05, "experiment scale factor")
 	names := flag.String("workloads", "fig2a,fig4a,flashcrowd", "comma-separated workloads to run")
+	shards := flag.Int("shards", 0, "shard each world across this many engine workers (0 = single engine); results are identical at any value")
 	flashCrowd := flag.String("flash-crowd", "examples/scenarios/flash-crowd.json", "flash-crowd scenario spec path")
+	flashCrowdLarge := flag.String("flash-crowd-large", "examples/scenarios/flash-crowd-large.json", "flash-crowd-large scenario spec path")
 	benchtime := flag.Int("benchtime", 0, "fixed iteration count (0 = auto, ~1s per workload)")
 	checkOn := flag.Bool("check", false, "run workloads with invariant sweeps armed (measures the checker's own overhead)")
 	flag.Parse()
@@ -117,8 +132,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	entry := bench.Entry{Label: *label, GoVersion: runtime.Version(), Scale: *scale}
-	for _, w := range workloads(*flashCrowd) {
+	entry := bench.Entry{Label: *label, GoVersion: runtime.Version(), Scale: *scale, Shards: *shards}
+	for _, w := range workloads(*flashCrowd, *flashCrowdLarge, *shards) {
 		if !want[w.name] {
 			continue
 		}

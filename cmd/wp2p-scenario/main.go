@@ -39,6 +39,7 @@ func run() int {
 	validate := flag.Bool("validate", false, "load and validate the files, run nothing")
 	scale := flag.Float64("scale", 1.0, "scenario scale: 1.0 = spec-faithful sizes, smaller = faster")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
+	shards := flag.Int("shards", 0, "shard each world across this many engine workers (bt workloads only; 0 = single engine); results are identical at any value")
 	seed := flag.Int64("seed", 0, "override the spec's base seed (0 = use the spec's)")
 	runs := flag.Int("runs", 0, "override the spec's averaged runs per grid cell (0 = use the spec's)")
 	sweep := flag.String("sweep", "", "sweep an override path from the CLI: path=v1,v2,... (replaces the file's sweep)")
@@ -113,7 +114,7 @@ func run() int {
 	runner.Stream(*parallel, len(specs),
 		func(i int) outcome {
 			start := time.Now()
-			res, err := scenario.Run(specs[i], *scale)
+			res, err := scenario.RunOpts(specs[i], *scale, scenario.Options{ShardWorkers: *shards})
 			return outcome{res: res, err: err, dur: time.Since(start)}
 		},
 		func(i int, o outcome) {

@@ -52,6 +52,7 @@ func main() {
 func run() int {
 	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-faithful sizes, smaller = faster")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
+	shards := flag.Int("shards", 0, "shard each world across this many engine workers (shard-capable experiments only; 0 = single engine); results are identical at any value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stats := flag.Bool("stats", false, "print each experiment's cross-layer stats summary")
 	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
@@ -102,7 +103,7 @@ func run() int {
 
 	runner.SetWorkers(*parallel)
 
-	reg := experiments.Registry(*scale)
+	reg := experiments.RegistryOpts(*scale, experiments.RegistryOptions{Shards: *shards})
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()

@@ -32,7 +32,11 @@ type Entry struct {
 	GoVersion string `json:"go"`
 	// Scale is the -scale the workloads ran at. Entries are only comparable
 	// at equal scale.
-	Scale     float64    `json:"scale"`
+	Scale float64 `json:"scale"`
+	// Shards is the -shards worker count the workloads ran with (0 = the
+	// single-engine path). Recorded so scaling rows are self-describing;
+	// results are identical at any value, only the wall time moves.
+	Shards    int        `json:"shards,omitempty"`
 	Workloads []Workload `json:"workloads"`
 }
 

@@ -12,6 +12,19 @@ type choker struct {
 	client     *Client
 	optimistic *peerConn
 	ticks      int
+
+	// Scratch buffers reused across ticks so the steady-state rechoke
+	// allocates nothing; lengths are reset each run.
+	interested []*peerConn
+	rs         []rankedPeer
+	unchoked   []*peerConn
+	candidates []*peerConn
+}
+
+// rankedPeer pairs a connection with its tit-for-tat score for one tick.
+type rankedPeer struct {
+	p     *peerConn
+	score float64
 }
 
 func (ck *choker) run() {
@@ -19,12 +32,13 @@ func (ck *choker) run() {
 	now := c.engine.Now()
 	ck.ticks++
 
-	interested := make([]*peerConn, 0, len(c.peers))
+	interested := ck.interested[:0]
 	for _, p := range c.peers {
 		if p.peerInterested {
 			interested = append(interested, p)
 		}
 	}
+	ck.interested = interested
 
 	// Rotate the optimistic unchoke every OptimisticInterval.
 	rotate := ck.ticks%max(1, int(c.cfg.OptimisticInterval/c.cfg.ChokeInterval)) == 0
@@ -36,11 +50,7 @@ func (ck *choker) run() {
 	}
 
 	seedMode := c.have.Complete()
-	type ranked struct {
-		p     *peerConn
-		score float64
-	}
-	rs := make([]ranked, 0, len(interested))
+	rs := ck.rs[:0]
 	for _, p := range interested {
 		var score float64
 		if seedMode {
@@ -54,8 +64,9 @@ func (ck *choker) run() {
 			// (paper §3.4) forfeits.
 			score = p.downRate.Rate(now) + c.ledger.Rate(p.id, now)
 		}
-		rs = append(rs, ranked{p: p, score: score})
+		rs = append(rs, rankedPeer{p: p, score: score})
 	}
+	ck.rs = rs
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
 
 	// Fill the regular (tit-for-tat) slots from the ranking, then add the
@@ -64,7 +75,7 @@ func (ck *choker) run() {
 	// consume a regular slot, or the newcomer bootstrap would come at the
 	// expense of the best reciprocator.
 	slots := c.cfg.UnchokeSlots
-	unchoked := make(map[*peerConn]bool, slots+1)
+	unchoked := ck.unchoked[:0]
 	for _, r := range rs {
 		if len(unchoked) >= slots {
 			break
@@ -72,26 +83,37 @@ func (ck *choker) run() {
 		if r.p == ck.optimistic {
 			continue
 		}
-		unchoked[r.p] = true
+		unchoked = append(unchoked, r.p)
 	}
 	if ck.optimistic != nil {
-		unchoked[ck.optimistic] = true
+		unchoked = append(unchoked, ck.optimistic)
 	}
+	ck.unchoked = unchoked
 
+	// Membership by linear scan: the unchoke set is a handful of slots, so
+	// scanning beats a per-tick map both in allocations and in practice.
 	for _, p := range c.peers {
-		p.setChoke(!unchoked[p])
+		choke := true
+		for _, u := range unchoked {
+			if u == p {
+				choke = false
+				break
+			}
+		}
+		p.setChoke(choke)
 	}
 }
 
 // pickOptimistic chooses a random interested peer that is currently choked,
 // favouring nobody — the swarm's bootstrap mechanism.
 func (ck *choker) pickOptimistic(interested []*peerConn) *peerConn {
-	candidates := make([]*peerConn, 0, len(interested))
+	candidates := ck.candidates[:0]
 	for _, p := range interested {
 		if p.amChoking {
 			candidates = append(candidates, p)
 		}
 	}
+	ck.candidates = candidates
 	if len(candidates) == 0 {
 		return nil
 	}

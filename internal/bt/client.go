@@ -17,7 +17,7 @@ import (
 type Config struct {
 	Stack   *tcp.Stack
 	Torrent *MetaInfo
-	Tracker *Tracker
+	Tracker Announcer
 
 	// PeerID is the identity announced to tracker and peers; generated if
 	// empty.
@@ -114,7 +114,7 @@ type Client struct {
 	engine  *sim.Engine
 	stack   *tcp.Stack
 	torrent *MetaInfo
-	tracker *Tracker
+	tracker Announcer
 	peerID  PeerID
 	picker  Picker
 	ledger  *CreditLedger

@@ -229,25 +229,30 @@ func (p *peerConn) handleRequest(m msgRequest) {
 	}
 	ref := blockRef{m.Piece, m.Begin / BlockSize}
 	delete(p.cancelled, ref)
-	grant := func() {
-		if p.closed || p.amChoking {
-			return
-		}
-		if p.cancelled[ref] {
-			delete(p.cancelled, ref)
-			return
-		}
-		p.sendQ = append(p.sendQ, msgPiece{
-			Piece: m.Piece, Begin: m.Begin, Length: m.Length,
-			Corrupt: p.client.cfg.Corrupt,
-		})
-		p.drainSendQ()
-	}
 	if lim := p.client.cfg.UploadLimiter; lim != nil {
-		lim.Acquire(m.Length, grant)
-	} else {
-		grant()
+		// Only the limited path pays for a closure; the grant may fire
+		// later, after cancels or choking, so it re-checks both.
+		lim.Acquire(m.Length, func() { p.grant(ref, m) })
+		return
 	}
+	p.grant(ref, m)
+}
+
+// grant queues one granted block for transmission, unless the request was
+// withdrawn or the peer choked while the grant waited on the limiter.
+func (p *peerConn) grant(ref blockRef, m msgRequest) {
+	if p.closed || p.amChoking {
+		return
+	}
+	if p.cancelled[ref] {
+		delete(p.cancelled, ref)
+		return
+	}
+	p.sendQ = append(p.sendQ, msgPiece{
+		Piece: m.Piece, Begin: m.Begin, Length: m.Length,
+		Corrupt: p.client.cfg.Corrupt,
+	})
+	p.drainSendQ()
 }
 
 func (p *peerConn) handlePiece(m msgPiece) {

@@ -56,6 +56,15 @@ const (
 	DefaultTrackerRTT = 100 * time.Millisecond
 )
 
+// Announcer is the client's view of a tracker: Announce eventually answers
+// with a peer list, Interval paces re-announces. *Tracker implements it
+// directly; a sharded world substitutes a proxy that relays announces to the
+// tracker's home shard through the fabric.
+type Announcer interface {
+	Announce(req AnnounceRequest, cb func(AnnounceResponse))
+	Interval() time.Duration
+}
+
 // Tracker is the per-torrent directory server: it records which peers are in
 // each swarm and answers announces with a random subset of addresses.
 // Entries not refreshed within two intervals are pruned, which is exactly
@@ -106,23 +115,38 @@ func NewTracker(engine *sim.Engine, cfg TrackerConfig) *Tracker {
 // Interval returns the announce interval the tracker hands to clients.
 func (t *Tracker) Interval() time.Duration { return t.interval }
 
+// RTT returns the simulated one-way announce latency.
+func (t *Tracker) RTT() time.Duration { return t.rtt }
+
+// Engine returns the engine the tracker schedules on — its home shard in a
+// sharded world.
+func (t *Tracker) Engine() *sim.Engine { return t.engine }
+
 // Announce registers or refreshes a peer and replies (after the simulated
 // RTT) with up to NumWant other swarm members.
 func (t *Tracker) Announce(req AnnounceRequest, cb func(AnnounceResponse)) {
 	t.engine.Schedule(t.rtt, func() {
-		t.Announces++
-		t.regAnnounces.Inc()
-		if req.Event == EventNone {
-			// Periodic refresh, not a lifecycle transition — the steady
-			// re-announce load whose cadence bounds how stale tracker
-			// knowledge of a moved peer can get.
-			t.regReannounces.Inc()
-		}
-		resp := t.handle(req)
+		resp := t.HandleAnnounce(req)
 		if cb != nil {
 			t.engine.Schedule(t.rtt, func() { cb(resp) })
 		}
 	})
+}
+
+// HandleAnnounce processes one announce synchronously at the tracker — the
+// request-arrival instant, with the RTT legs supplied by the caller. The
+// sharded announce proxy uses it directly so both latency legs ride the
+// cross-shard fabric instead of being scheduled here.
+func (t *Tracker) HandleAnnounce(req AnnounceRequest) AnnounceResponse {
+	t.Announces++
+	t.regAnnounces.Inc()
+	if req.Event == EventNone {
+		// Periodic refresh, not a lifecycle transition — the steady
+		// re-announce load whose cadence bounds how stale tracker
+		// knowledge of a moved peer can get.
+		t.regReannounces.Inc()
+	}
+	return t.handle(req)
 }
 
 func (t *Tracker) handle(req AnnounceRequest) AnnounceResponse {

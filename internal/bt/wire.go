@@ -59,6 +59,11 @@ type msgBitfield struct{ Bits *Bitfield }
 
 func (m msgBitfield) wireLen() int { return msgOverhead + (m.Bits.Len()+7)/8 }
 
+// Migrate deep-copies the bitfield for cross-shard delivery
+// (netem.Migratable): the sender keeps mutating its own Bitfield as pieces
+// verify, so the copy must not share storage.
+func (m msgBitfield) Migrate() any { return msgBitfield{Bits: m.Bits.Clone()} }
+
 // msgRequest asks for one block.
 type msgRequest struct {
 	Piece  int

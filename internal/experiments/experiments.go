@@ -137,9 +137,24 @@ func writeAligned(b *strings.Builder, headers []string, rows [][]string) {
 // Runner is the signature every experiment exposes.
 type Runner func() *Result
 
+// RegistryOptions tunes how registry experiments execute without changing
+// what they compute.
+type RegistryOptions struct {
+	// Shards > 0 runs shard-capable experiments (currently fig4a) on the
+	// sharded engine with that many worker threads. Experiments that have
+	// not been taught the sharded world ignore it. Results and digests are
+	// identical at any value.
+	Shards int
+}
+
 // Registry maps experiment ids to runners built with the given scale
 // (1.0 = paper-faithful sizes, smaller = faster benchmark-friendly runs).
 func Registry(scale float64) map[string]Runner {
+	return RegistryOpts(scale, RegistryOptions{})
+}
+
+// RegistryOpts is Registry with execution options.
+func RegistryOpts(scale float64, opts RegistryOptions) map[string]Runner {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -149,7 +164,7 @@ func Registry(scale float64) map[string]Runner {
 		"fig3a":  func() *Result { return Fig3aUploadCapWired(Fig3Config{Scale: scale}) },
 		"fig3b":  func() *Result { return Fig3bUploadCapWireless(Fig3Config{Scale: scale}) },
 		"fig3c":  func() *Result { return Fig3cIncentiveMobility(Fig3cConfig{Scale: scale}) },
-		"fig4a":  func() *Result { return Fig4aServerMobility(Fig4aConfig{Scale: scale}) },
+		"fig4a":  func() *Result { return Fig4aServerMobility(Fig4aConfig{Scale: scale, Shards: opts.Shards}) },
 		"fig4bc": func() *Result { return Fig4bcRarestPlayability(FigPlayConfig{Scale: scale}) },
 		"fig8a":  func() *Result { return Fig8aAgeBasedManipulation(Fig8aConfig{Scale: scale}) },
 		"fig8b":  func() *Result { return Fig8bIdentityRetention(Fig8bConfig{Scale: scale}) },

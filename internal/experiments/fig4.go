@@ -18,6 +18,7 @@ type Fig4aConfig struct {
 	Seeds   int             // mobile seeds serving the fixed peer (paper: 3)
 	Horizon time.Duration
 	Seed    int64
+	Shards  int // worker threads for the sharded engine; 0 = single-engine
 }
 
 func (c Fig4aConfig) withDefaults() Fig4aConfig {
@@ -55,7 +56,8 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 
 	col := stats.NewCollector()
 	run := func(period time.Duration, mobileSeeds int) float64 {
-		w := NewWorld(cfg.Seed, 2*time.Minute)
+		w := NewWorldSharded(cfg.Seed, 2*time.Minute,
+			netem.NetworkConfig{CloudDelay: 15 * time.Millisecond}, ShardWorkers(cfg.Shards))
 		defer w.Finish(col)
 		// Large enough that the fixed peer cannot finish inside the horizon;
 		// the sweep measures sustained throughput.
@@ -63,21 +65,22 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 		for i := 0; i < cfg.Seeds; i++ {
 			host := w.WiredHost(300*netem.KBps, 0)
 			bt.NewClient(bt.Config{
-				Stack: host.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true,
+				Stack: host.Stack, Torrent: tor, Tracker: w.Announcer(host), Seed: true,
 			}).Start()
 			if i < mobileSeeds && period > 0 {
 				// Oblivious mobile seed: the client never notices the
 				// address change; the swarm relearns it via announces.
-				h := mobility.NewHandoff(w.Engine, w.Net, host.Iface,
+				h := mobility.NewHandoff(host.Engine, host.Net, host.Iface,
 					mobility.NewIPAllocator(netem.IP(1000+i*1000)), period)
 				h.Start()
 			}
 		}
+		fixedHost := w.WiredHost(0, 0)
 		fixed := bt.NewClient(bt.Config{
-			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Stack: fixedHost.Stack, Torrent: tor, Tracker: w.Announcer(fixedHost),
 		})
 		fixed.Start()
-		w.Engine.RunFor(cfg.Horizon)
+		w.RunFor(cfg.Horizon)
 		window := cfg.Horizon
 		if at := fixed.CompletedAt(); at > 0 && at < window {
 			window = at

@@ -29,8 +29,21 @@ type World struct {
 	Rec *trace.Recorder
 
 	// Chk is the world's invariant checker, non-nil only while package-level
-	// checking (EnableChecking) is on.
+	// checking (EnableChecking) is on. In a sharded world it is shard 0's
+	// checker; the others are internal.
 	Chk *check.Checker
+
+	// Sharded is the coordinator of a sharded world (NewWorldSharded with
+	// Workers ≥ 1), nil on the single-engine path. Engine and Net then alias
+	// shard 0, where the tracker lives.
+	Sharded *sim.ShardedEngine
+	// Shards holds every partition of a sharded world (empty otherwise).
+	Shards []Shard
+
+	chks     []*check.Checker
+	dir      *netem.Directory
+	perm     []int
+	nextHost int
 
 	seed   int64
 	nextIP netem.IP
@@ -209,10 +222,38 @@ func (w *World) onViolation(v check.Violation) {
 // the recorder's retained tail is dumped. Runners defer this right after
 // NewWorld so every world a figure builds is accounted for exactly once.
 func (w *World) Finish(col *stats.Collector) {
-	if col != nil {
-		col.Add(w.Engine.Stats())
+	if w.Sharded != nil {
+		w.Sharded.Close()
 	}
-	if w.Chk != nil {
+	if col != nil {
+		// Per-shard registries merge commutatively — counters only — so the
+		// collector's totals are shard- and worker-count independent.
+		col.Add(w.Engine.Stats())
+		for i := 1; i < len(w.Shards); i++ {
+			col.Add(w.Shards[i].Engine.Stats())
+		}
+	}
+	if len(w.chks) > 0 {
+		for _, c := range w.chks {
+			c.Finish()
+		}
+		checking.mu.Lock()
+		if checking.digests {
+			for i, c := range w.chks {
+				st := check.Stream{
+					Label:   fmt.Sprintf("seed=%d/shard=%d", w.seed, i),
+					Records: c.Records(),
+				}
+				if i == 0 && w.Rec != nil {
+					for _, ev := range w.Rec.Events() {
+						st.Tail = append(st.Tail, ev.String())
+					}
+				}
+				checking.streams = append(checking.streams, st)
+			}
+		}
+		checking.mu.Unlock()
+	} else if w.Chk != nil {
 		w.Chk.Finish()
 		checking.mu.Lock()
 		if checking.digests {
@@ -249,12 +290,18 @@ func (w *World) NextIP() netem.IP {
 	return ip
 }
 
-// Host is one machine: its interface, medium, and TCP stack.
+// Host is one machine: its interface, medium, and TCP stack. Engine and Net
+// are the shard the host lives on (the world's own on the single-engine
+// path); all of the host's model code — timers, limiters, mobility — must
+// schedule there.
 type Host struct {
-	Stack *tcp.Stack
-	Iface *netem.Iface
-	Link  *netem.AccessLink      // non-nil for wired hosts
-	WLAN  *netem.WirelessChannel // non-nil for wireless hosts
+	Stack  *tcp.Stack
+	Iface  *netem.Iface
+	Link   *netem.AccessLink      // non-nil for wired hosts
+	WLAN   *netem.WirelessChannel // non-nil for wireless hosts
+	Engine *sim.Engine
+	Net    *netem.Network
+	Shard  int
 }
 
 // WiredHost attaches a host behind a full-duplex access link. Zero rates
@@ -266,19 +313,29 @@ func (w *World) WiredHost(up, down netem.Rate) *Host {
 	if down == 0 {
 		down = 1 * netem.MBps
 	}
-	link := netem.NewAccessLink(w.Engine, netem.AccessLinkConfig{
+	return w.WiredHostLink(netem.AccessLinkConfig{
 		UpRate: up, DownRate: down, Delay: time.Millisecond,
 	})
+}
+
+// WiredHostLink is WiredHost with the full link config exposed, for callers
+// (the scenario compiler) that shape queues and delays themselves.
+func (w *World) WiredHostLink(cfg netem.AccessLinkConfig) *Host {
+	shard, eng, net := w.place()
+	link := netem.NewAccessLink(eng, cfg)
 	ip := w.NextIP()
-	iface := w.Net.Attach(ip, link, nil)
-	if w.Rec != nil {
+	iface := net.Attach(ip, link, nil)
+	if w.Rec != nil && shard == 0 {
 		trace.WatchLink(w.Rec, fmt.Sprintf("wired.%d", ip), link)
 		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
 	}
 	return &Host{
-		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
-		Iface: iface,
-		Link:  link,
+		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
+		Iface:  iface,
+		Link:   link,
+		Engine: eng,
+		Net:    net,
+		Shard:  shard,
 	}
 }
 
@@ -302,23 +359,28 @@ func (w *World) WirelessHost(cfg netem.WirelessConfig) *Host {
 	if cfg.Overhead == 0 {
 		cfg.Overhead = DefaultWirelessOverhead
 	}
-	ch := netem.NewWirelessChannel(w.Engine, cfg)
+	shard, eng, net := w.place()
+	ch := netem.NewWirelessChannel(eng, cfg)
 	ip := w.NextIP()
-	iface := w.Net.Attach(ip, ch, nil)
-	if w.Rec != nil {
+	iface := net.Attach(ip, ch, nil)
+	if w.Rec != nil && shard == 0 {
 		trace.WatchWireless(w.Rec, fmt.Sprintf("wlan.%d", ip), ch)
 		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
 	}
 	return &Host{
-		Stack: tcp.NewStack(w.Engine, iface, tcp.Config{}),
-		Iface: iface,
-		WLAN:  ch,
+		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
+		Iface:  iface,
+		WLAN:   ch,
+		Engine: eng,
+		Net:    net,
+		Shard:  shard,
 	}
 }
 
-// BTConfig builds a client config bound to this world's tracker.
+// BTConfig builds a client config bound to this world's tracker (through the
+// host's shard-appropriate announcer).
 func (w *World) BTConfig(h *Host, torrent *bt.MetaInfo) bt.Config {
-	return bt.Config{Stack: h.Stack, Torrent: torrent, Tracker: w.Tracker}
+	return bt.Config{Stack: h.Stack, Torrent: torrent, Tracker: w.Announcer(h)}
 }
 
 // Scaled multiplies n by scale with a floor of lo — the sizing rule every
@@ -370,9 +432,10 @@ func (w *World) PopulateSwarm(tor *bt.MetaInfo, cfg SwarmConfig) []*bt.Client {
 	}
 	out := make([]*bt.Client, 0, cfg.Seeds+cfg.Leeches)
 	for i := 0; i < cfg.Seeds; i++ {
+		h := w.WiredHost(0, 0)
 		c := bt.NewClient(bt.Config{
-			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
-			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, cfg.SeedCap),
+			Stack: h.Stack, Torrent: tor, Tracker: w.Announcer(h),
+			Seed: true, UploadLimiter: bt.NewLimiter(h.Engine, cfg.SeedCap),
 			UnchokeSlots: cfg.Slots,
 		})
 		c.Start()
@@ -385,12 +448,13 @@ func (w *World) PopulateSwarm(tor *bt.MetaInfo, cfg SwarmConfig) []*bt.Client {
 		} else {
 			up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
 		}
+		h := w.WiredHost(0, 0)
 		c := bt.NewClient(bt.Config{
-			Stack:         w.WiredHost(0, 0).Stack,
+			Stack:         h.Stack,
 			Torrent:       tor,
-			Tracker:       w.Tracker,
+			Tracker:       w.Announcer(h),
 			UnchokeSlots:  cfg.Slots,
-			UploadLimiter: bt.NewLimiter(w.Engine, up),
+			UploadLimiter: bt.NewLimiter(h.Engine, up),
 			InitialHave:   randomHave(w, tor, 0.3+0.5*w.Engine.Rand().Float64()),
 		})
 		c.Start()

@@ -1,0 +1,90 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wp2p/wp2p/internal/check"
+)
+
+// Directory maps host addresses to logical shards in a sharded world. It is
+// the one piece of routing state every shard reads, so its update discipline
+// is the crux of cross-shard determinism:
+//
+//   - During a window the map is strictly read-only. Any worker may consult
+//     Shard concurrently.
+//   - Topology changes (Attach, Rebind) made by shard model code are recorded
+//     into that shard's private pending list and published by Apply at the
+//     next barrier, merged in (shard, FIFO) order so the map contents are
+//     worker-count independent.
+//
+// The directory is add-only. Detach leaves the mapping in place (the local
+// interface map already blackholes the address) and Rebind adds the new
+// address without retiring the old one: packets to a stale address still
+// route to the owning shard, whose interface map drops them with DropNoRoute
+// — exactly the handoff-blackhole semantics of the single-engine path, one
+// barrier later.
+type Directory struct {
+	shardOf map[IP]int32
+	pend    [][]dirOp
+}
+
+type dirOp struct {
+	ip    IP
+	shard int32
+}
+
+// NewDirectory builds an empty directory for a world of shards partitions.
+func NewDirectory(shards int) *Directory {
+	return &Directory{
+		shardOf: make(map[IP]int32),
+		pend:    make([][]dirOp, shards),
+	}
+}
+
+// Shard resolves the shard owning ip. Read-only and safe from any worker
+// during a window; addresses recorded since the last barrier are not yet
+// visible, which every caller must treat as "route unknown".
+func (d *Directory) Shard(ip IP) (int32, bool) {
+	s, ok := d.shardOf[ip]
+	return s, ok
+}
+
+// record notes that ip now lives on shard. Called from shard model code
+// (Attach, Rebind) during a window; each shard appends only to its own list.
+func (d *Directory) record(shard int32, ip IP) {
+	d.pend[shard] = append(d.pend[shard], dirOp{ip: ip, shard: shard})
+}
+
+// Apply publishes all pending address records into the shared map. It must
+// run with all workers parked — register it as a barrier hook
+// (sim.ShardedEngine.OnBarrier). Merging shard by shard in index order keeps
+// the result independent of worker scheduling.
+func (d *Directory) Apply() {
+	for i := range d.pend {
+		for _, op := range d.pend[i] {
+			if prev, ok := d.shardOf[op.ip]; ok && prev != op.shard {
+				panic(fmt.Sprintf("netem: address %s attached on shard %d but already owned by shard %d — addresses must not migrate between shards", op.ip, op.shard, prev))
+			}
+			d.shardOf[op.ip] = op.shard
+		}
+		d.pend[i] = d.pend[i][:0]
+	}
+}
+
+// DigestInto hashes the directory (check.Digestable): the published map in
+// ascending address order. Pending records are intentionally excluded —
+// digests are sampled at barriers, where Apply has already run.
+func (d *Directory) DigestInto(dig *check.Digest) {
+	dig.Str("netem.Directory")
+	dig.Int(len(d.shardOf))
+	ips := make([]IP, 0, len(d.shardOf))
+	for ip := range d.shardOf {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		dig.U64(uint64(ip))
+		dig.I64(int64(d.shardOf[ip]))
+	}
+}

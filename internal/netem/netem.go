@@ -149,6 +149,24 @@ func (p *Packet) Release() {
 	}
 }
 
+// Migratable is implemented by payloads that can cross a shard boundary in a
+// sharded world (see Network.EnableSharding). Migrate returns a copy owned by
+// the receiving shard — it must not alias any pool-owned storage — and
+// releases the original back to the sending shard's pools. Payload types
+// drawn from per-shard free-lists (tcp segments and anything nested inside
+// them) must implement it; plain immutable values may cross as-is.
+type Migratable interface {
+	Migrate() any
+}
+
+// migratePayload detaches a payload from its sending shard.
+func migratePayload(v any) any {
+	if m, ok := v.(Migratable); ok {
+		return m.Migrate()
+	}
+	return v
+}
+
 // Handler consumes packets delivered to an interface. The packet is valid
 // only for the duration of the call: the interface recycles it when
 // HandlePacket returns.

@@ -40,6 +40,16 @@ type Network struct {
 	// verification across the cloud crossing); see SetCheckEnabled.
 	checkEnabled bool
 
+	// Sharded-world plumbing (nil/zero on a single-engine network). dir maps
+	// addresses to shards, fabric carries cross-shard deliveries, peers holds
+	// every shard's network indexed by shard id, and lookahead is the
+	// fabric's window bound — the floor every cross-shard delay must respect.
+	dir       *Directory
+	shard     int32
+	fabric    *sim.ShardedEngine
+	peers     []*Network
+	lookahead time.Duration
+
 	regRouted      *stats.Counter
 	regNoRoute     *stats.Counter
 	regPartitioned *stats.Counter
@@ -104,11 +114,40 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 	return n
 }
 
+// EnableSharding wires this network into a sharded world as shard's slice of
+// it: addresses attach into the shared directory, and packets whose
+// destination lives on another shard hand off at the transmit boundary via
+// the fabric's inject queues. peers must hold every shard's network, indexed
+// by shard id. Must be called before any interface attaches; the caller also
+// registers dir.Apply as a barrier hook (once, not per shard).
+func (n *Network) EnableSharding(fabric *sim.ShardedEngine, shard int, dir *Directory, peers []*Network) {
+	if len(n.ifaces) > 0 {
+		panic("netem: EnableSharding after interfaces attached")
+	}
+	if fabric.Lookahead() <= 0 {
+		panic("netem: sharded network needs a positive lookahead")
+	}
+	if n.cloudDelay < fabric.Lookahead() {
+		panic(fmt.Sprintf("netem: cloud delay %v below the fabric lookahead %v — cross-shard deliveries would violate the barrier bound", n.cloudDelay, fabric.Lookahead()))
+	}
+	n.dir = dir
+	n.shard = int32(shard)
+	n.fabric = fabric
+	n.peers = peers
+	n.lookahead = fabric.Lookahead()
+}
+
 // SetPairDelay overrides the core one-way delay between two addresses
 // (unordered). It keys on the hosts' current addresses; a handoff to a new
 // address reverts the pair to the default delay, as moving to a new access
-// point would.
+// point would. In a sharded world the override must stay at or above the
+// fabric lookahead — the barrier protocol's safety bound — and construction
+// panics otherwise (the zero-latency-adjacent-shards deadlock, caught here
+// instead of hung at a barrier).
 func (n *Network) SetPairDelay(a, b IP, d time.Duration) {
+	if n.dir != nil && d < n.lookahead {
+		panic(fmt.Sprintf("netem: pair delay %v below the shard lookahead %v would let a packet arrive behind the barrier", d, n.lookahead))
+	}
 	n.pairDelay[pairOf(a, b)] = d
 }
 
@@ -189,6 +228,9 @@ func (n *Network) Attach(ip IP, medium Medium, handler Handler) *Iface {
 	ifc := &Iface{net: n, ip: ip, medium: medium, handler: handler}
 	n.ifaces[ip] = ifc
 	n.gen++
+	if n.dir != nil {
+		n.dir.record(n.shard, ip)
+	}
 	return ifc
 }
 
@@ -234,6 +276,9 @@ func (n *Network) Rebind(ifc *Iface, newIP IP) {
 	ifc.ip = newIP
 	n.ifaces[newIP] = ifc
 	n.gen++
+	if n.dir != nil {
+		n.dir.record(n.shard, newIP)
+	}
 }
 
 // lookup resolves a destination address through the generation-stamped
@@ -327,7 +372,20 @@ type cloudHop struct {
 // Deliver receives a packet that has crossed the sender's access medium and
 // forwards it across the core to the destination's access medium. It is the
 // up-side continuation every medium gets from Iface.Send.
+//
+// In a sharded world this is the transmit boundary: a destination the
+// directory places on another shard is handed to the fabric here, before any
+// shard-local scheduling. Destinations the directory does not know (attached
+// since the last barrier on a remote shard, or simply nonexistent) fall
+// through to the local path, where the interface map settles it — a local
+// host routes normally, anything else blackholes with DropNoRoute.
 func (n *Network) Deliver(pkt *Packet) {
+	if n.dir != nil {
+		if ds, ok := n.dir.Shard(pkt.Dst.IP); ok && ds != n.shard {
+			n.deliverRemote(pkt, ds)
+			return
+		}
+	}
 	h := n.hopFree
 	if h != nil {
 		n.hopFree = h.next
@@ -354,6 +412,53 @@ func (h *cloudHop) run() {
 		return
 	}
 	dst := n.lookup(pkt.Dst.IP)
+	if dst == nil {
+		n.drop(pkt, DropNoRoute)
+		pkt.Release()
+		return
+	}
+	n.regRouted.Inc()
+	dst.medium.SendDown(pkt, dst)
+}
+
+// remotePacket is the shard-neutral form of a packet in flight across the
+// fabric: plain values plus a migrated payload, with no ties to the sending
+// shard's free-lists. Cross-shard traffic pays one closure + payload copy per
+// packet — the price of pool isolation; §14 of DESIGN.md discusses the trade.
+type remotePacket struct {
+	src, dst Addr
+	size     int
+	payload  any
+}
+
+// deliverRemote carries a packet to the shard owning its destination. The
+// core delay is computed on the sending shard (so jitter draws stay in the
+// sender's RNG stream) and is ≥ the fabric lookahead by the SetPairDelay and
+// EnableSharding guards, which keeps the stamped arrival on the far side of
+// the next barrier. The pooled packet is released here; the destination shard
+// rebuilds one from its own pool on arrival.
+func (n *Network) deliverRemote(pkt *Packet, dstShard int32) {
+	d := n.delayFor(pkt.Src.IP, pkt.Dst.IP)
+	rp := remotePacket{src: pkt.Src, dst: pkt.Dst, size: pkt.Size, payload: migratePayload(pkt.Payload)}
+	pkt.Release()
+	peer := n.peers[dstShard]
+	n.fabric.Inject(int(n.shard), int(dstShard), n.engine.Now()+d, func() {
+		peer.receiveRemote(rp)
+	})
+}
+
+// receiveRemote lands a fabric-carried packet on the destination shard: the
+// same partition and route checks the local cloud crossing applies, with
+// drops accounted on this shard's registry.
+func (n *Network) receiveRemote(rp remotePacket) {
+	pkt := n.pool.Get()
+	pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = rp.src, rp.dst, rp.size, rp.payload
+	if len(n.blocked) > 0 && n.blocked[pairOf(rp.src.IP, rp.dst.IP)] {
+		n.drop(pkt, DropPartitioned)
+		pkt.Release()
+		return
+	}
+	dst := n.lookup(rp.dst.IP)
 	if dst == nil {
 		n.drop(pkt, DropNoRoute)
 		pkt.Release()

@@ -10,7 +10,6 @@ import (
 	"github.com/wp2p/wp2p/internal/gnutella"
 	"github.com/wp2p/wp2p/internal/mobility"
 	"github.com/wp2p/wp2p/internal/netem"
-	"github.com/wp2p/wp2p/internal/tcp"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -70,7 +69,7 @@ type instance struct {
 // compile builds the world for one run of the spec. The spec must have
 // passed validation; structural impossibilities here are bugs, not user
 // errors, and panic like the layers below.
-func compile(s *Spec, scale float64, seed int64) *compiled {
+func compile(s *Spec, scale float64, seed int64, sc experiments.ShardConfig) *compiled {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -84,7 +83,7 @@ func compile(s *Spec, scale float64, seed int64) *compiled {
 	}
 	c := &compiled{
 		spec:    s,
-		w:       experiments.NewWorldNet(seed, s.AnnounceInterval.D(), netCfg),
+		w:       experiments.NewWorldSharded(seed, s.AnnounceInterval.D(), netCfg, sc),
 		horizon: horizon,
 		tscale:  float64(horizon) / float64(s.Duration.D()),
 		groups:  make(map[string][]*instance),
@@ -177,7 +176,9 @@ func (c *compiled) buildInstance(g *PeerGroup, i int, eventDriven bool) {
 		if at == 0 {
 			inst.start(c)
 		} else {
-			c.w.Engine.Schedule(at, func() { inst.start(c) })
+			// Start on the host's own shard: bringing a client up touches
+			// only that instance's state.
+			inst.host.Engine.Schedule(at, func() { inst.start(c) })
 		}
 	}
 
@@ -203,7 +204,7 @@ func (c *compiled) buildMobility(inst *instance, m *MobilitySpec, eventDriven bo
 		// the value is inert (NewHandoff just rejects non-positive).
 		hPeriod = c.horizon + time.Hour
 	}
-	h := mobility.NewHandoff(c.w.Engine, c.w.Net, inst.host.Iface, alloc, hPeriod)
+	h := mobility.NewHandoff(inst.host.Engine, inst.host.Net, inst.host.Iface, alloc, hPeriod)
 	inst.handoff = h
 	if m.Jitter > 0 {
 		h.SetJitter(m.Jitter.D())
@@ -216,7 +217,7 @@ func (c *compiled) buildMobility(inst *instance, m *MobilitySpec, eventDriven bo
 		if delay == 0 {
 			delay = 15 * time.Second
 		}
-		mobility.DefaultReaction(c.w.Engine, h, inst.restarter(), delay)
+		mobility.DefaultReaction(inst.host.Engine, h, inst.restarter(), delay)
 	case ReactWP2P:
 		h.OnChange(func(_, _ netem.IP) { inst.wp.OnAddressChange() })
 	}
@@ -253,12 +254,12 @@ func (c *compiled) buildClient(inst *instance) {
 	switch c.spec.Workload.Protocol {
 	case ProtoBT:
 		cfg := bt.Config{
-			Stack: inst.host.Stack, Torrent: c.tor, Tracker: c.w.Tracker,
+			Stack: inst.host.Stack, Torrent: c.tor, Tracker: c.w.Announcer(inst.host),
 			Seed:         g.Role == RoleSeed,
 			UnchokeSlots: g.UnchokeSlots,
 		}
 		if g.UploadLimit > 0 {
-			cfg.UploadLimiter = bt.NewLimiter(c.w.Engine, g.UploadLimit.R())
+			cfg.UploadLimiter = bt.NewLimiter(inst.host.Engine, g.UploadLimit.R())
 		}
 		if g.InitialHave > 0 {
 			cfg.InitialHave = c.randomHave(g.InitialHave)
@@ -390,15 +391,9 @@ func (c *compiled) wiredHostCustom(l LinkSpec) *experiments.Host {
 	if delay == 0 {
 		delay = time.Millisecond
 	}
-	link := netem.NewAccessLink(c.w.Engine, netem.AccessLinkConfig{
+	return c.w.WiredHostLink(netem.AccessLinkConfig{
 		UpRate: up, DownRate: down, Delay: delay, QueueCap: l.QueueCap,
 	})
-	iface := c.w.Net.Attach(c.w.NextIP(), link, nil)
-	return &experiments.Host{
-		Stack: tcp.NewStack(c.w.Engine, iface, tcp.Config{}),
-		Iface: iface,
-		Link:  link,
-	}
 }
 
 // restarter adapts the instance to mobility.Restarter for the default

@@ -12,6 +12,14 @@ import (
 // seedStride spaces per-run seeds, mirroring the registry experiments.
 const seedStride = 101
 
+// Options tunes how a scenario executes without changing what it computes.
+type Options struct {
+	// ShardWorkers > 0 runs each world on the sharded engine with that many
+	// worker threads (the CLI -shards value); 0 keeps the single-engine
+	// path. Results and digests are identical at any positive value.
+	ShardWorkers int
+}
+
 // Run executes the scenario's full grid — every series variant at every
 // sweep value, Runs averaged runs per cell — and returns the figure.
 //
@@ -20,6 +28,18 @@ const seedStride = 101
 // (series, sweep-value) declaration order, so the output is bit-identical
 // at any -parallel setting.
 func Run(s *Spec, scale float64) (*experiments.Result, error) {
+	return RunOpts(s, scale, Options{})
+}
+
+// RunOpts is Run with execution options.
+func RunOpts(s *Spec, scale float64, opts Options) (*experiments.Result, error) {
+	sc := experiments.ShardWorkers(opts.ShardWorkers)
+	if sc.Workers > 0 {
+		if s.Workload.Protocol != "" && s.Workload.Protocol != ProtoBT {
+			return nil, fmt.Errorf("scenario: -shards supports only the bt protocol (got %q)", s.Workload.Protocol)
+		}
+		sc.Logical = s.Shards
+	}
 	seed, runs := s.Seed, s.Runs
 	if seed == 0 {
 		seed = 1
@@ -81,7 +101,7 @@ func Run(s *Spec, scale float64) (*experiments.Result, error) {
 			spec := grid[si][0].spec
 			x := sampleAxis(spec, scale)
 			y := runner.AverageSeries(runs, func(r int) []float64 {
-				return runSampled(spec, scale, seed+int64(r)*seedStride, len(x), col)
+				return runSampled(spec, scale, seed+int64(r)*seedStride, len(x), col, sc)
 			})
 			res.AddSeries(sv.Label, x, y)
 		}
@@ -101,7 +121,7 @@ func Run(s *Spec, scale float64) (*experiments.Result, error) {
 		}
 	}
 	ys := runner.Map(len(jobs), func(i int) float64 {
-		return runScalar(jobs[i].spec, scale, seed+int64(i%runs)*seedStride, col)
+		return runScalar(jobs[i].spec, scale, seed+int64(i%runs)*seedStride, col, sc)
 	})
 	k := 0
 	for si, sv := range series {
@@ -149,10 +169,10 @@ func sweepX(sw *SweepSpec, vi int) float64 {
 }
 
 // runScalar runs one world to the horizon and measures it.
-func runScalar(s *Spec, scale float64, seed int64, col *stats.Collector) float64 {
-	c := compile(s, scale, seed)
+func runScalar(s *Spec, scale float64, seed int64, col *stats.Collector, sc experiments.ShardConfig) float64 {
+	c := compile(s, scale, seed, sc)
 	defer c.w.Finish(col)
-	c.w.Engine.RunFor(c.horizon)
+	c.w.RunFor(c.horizon)
 	return c.measure(c.horizon)
 }
 
@@ -174,14 +194,14 @@ func sampleAxis(s *Spec, scale float64) []float64 {
 
 // runSampled runs one world, pausing every sample period to record the
 // metric — a trajectory instead of an endpoint.
-func runSampled(s *Spec, scale float64, seed int64, points int, col *stats.Collector) []float64 {
-	c := compile(s, scale, seed)
+func runSampled(s *Spec, scale float64, seed int64, points int, col *stats.Collector, sc experiments.ShardConfig) []float64 {
+	c := compile(s, scale, seed, sc)
 	defer c.w.Finish(col)
 	sample := time.Duration(float64(s.Measure.Sample.D()) * c.tscale)
 	out := make([]float64, 0, points)
 	for i := 0; i < points; i++ {
-		c.w.Engine.RunFor(sample)
-		out = append(out, c.measure(c.w.Engine.Now()))
+		c.w.RunFor(sample)
+		out = append(out, c.measure(c.w.Now()))
 	}
 	return out
 }

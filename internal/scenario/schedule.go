@@ -14,10 +14,15 @@ import (
 // Events fire from engine time, their effects draw only on the engine RNG,
 // and targets are resolved in group-declaration order, so a schedule is as
 // deterministic as the protocols beneath it.
+//
+// Events are world-level control — they may touch instances on any shard —
+// so they run through ScheduleControl: plain engine events on the
+// single-engine path, coordinator globals (all workers parked, every shard
+// clock at the event time) on the sharded one.
 func (c *compiled) armEvents() {
 	for i := range c.spec.Events {
 		ev := &c.spec.Events[i]
-		c.w.Engine.Schedule(c.evDur(ev.At), func() { c.fire(ev) })
+		c.w.ScheduleControl(c.evDur(ev.At), func() { c.fire(ev) })
 	}
 }
 
@@ -37,7 +42,7 @@ func (c *compiled) fire(ev *Event) {
 	case ActHandoffStorm:
 		for _, inst := range c.targets(ev.Peers, ev.Index) {
 			if inst.handoff != nil {
-				c.storm(inst.handoff, ev)
+				c.storm(inst, ev)
 			}
 		}
 	case ActSetBER:
@@ -61,14 +66,14 @@ func (c *compiled) fire(ev *Event) {
 		}
 		for _, inst := range c.targets(ev.Peers, ev.Index) {
 			if inst.disc == nil {
-				inst.disc = mobility.NewDisconnection(c.w.Engine, c.w.Net, inst.host.Iface)
+				inst.disc = mobility.NewDisconnection(inst.host.Engine, inst.host.Net, inst.host.Iface)
 			}
 			inst.disc.DisconnectFor(dur)
 		}
 	case ActPartition:
 		c.setPartition(ev.A, ev.B, true)
 		if ev.For > 0 {
-			c.w.Engine.Schedule(c.evDur(ev.For), func() { c.setPartition(ev.A, ev.B, false) })
+			c.w.ScheduleControl(c.evDur(ev.For), func() { c.setPartition(ev.A, ev.B, false) })
 		}
 	case ActHeal:
 		c.setPartition(ev.A, ev.B, false)
@@ -110,8 +115,10 @@ func (c *compiled) fireLeave(ev *Event) {
 
 // storm fires a burst of handoffs: Count changes (default 3) spaced Period
 // apart (default 10 s), each offset by a uniform draw in [−Jitter, +Jitter]
-// from the engine RNG.
-func (c *compiled) storm(h *mobility.Handoff, ev *Event) {
+// from the world RNG. The triggers are scheduled on the instance's own shard
+// — fire runs on the coordinator with workers parked, where touching a shard
+// heap is safe — so each handoff later executes where its state lives.
+func (c *compiled) storm(inst *instance, ev *Event) {
 	n := ev.Count
 	if n == 0 {
 		n = 3
@@ -129,7 +136,7 @@ func (c *compiled) storm(h *mobility.Handoff, ev *Event) {
 				at = 0
 			}
 		}
-		c.w.Engine.Schedule(at, h.Trigger)
+		inst.host.Engine.Schedule(at, inst.handoff.Trigger)
 	}
 }
 
@@ -151,7 +158,7 @@ func (c *compiled) fireRamp(ev *Event) {
 		target := *ev.ToBER
 		for k := 1; k <= steps; k++ {
 			ber := start + (target-start)*float64(k)/float64(steps)
-			c.w.Engine.Schedule(over*time.Duration(k)/time.Duration(steps), func() {
+			inst.host.Engine.Schedule(over*time.Duration(k)/time.Duration(steps), func() {
 				inst.host.WLAN.SetBER(ber)
 			})
 		}
@@ -163,7 +170,7 @@ func (c *compiled) fireRamp(ev *Event) {
 func (c *compiled) setPartition(a, b string, blocked bool) {
 	for _, ia := range c.groups[a] {
 		for _, ib := range c.groups[b] {
-			c.w.Net.SetPairBlocked(ia.host.Iface.IP(), ib.host.Iface.IP(), blocked)
+			c.w.SetPairBlocked(ia.host.Iface.IP(), ib.host.Iface.IP(), blocked)
 		}
 	}
 }

@@ -140,6 +140,11 @@ type Spec struct {
 	DurationFloor Duration `json:"duration_floor,omitempty"`
 	// AnnounceInterval is the tracker announce period (0 = bt default).
 	AnnounceInterval Duration `json:"announce_interval,omitempty"`
+	// Shards is the logical partition count used when the CLI requests a
+	// sharded run (-shards ≥ 1); 0 selects the engine default. It is part of
+	// the model: different logical counts are different trajectories, while
+	// the CLI's worker count never changes results.
+	Shards int `json:"shards,omitempty"`
 
 	Network  NetworkSpec  `json:"network,omitempty"`
 	Workload WorkloadSpec `json:"workload"`

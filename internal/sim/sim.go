@@ -49,6 +49,10 @@ type Engine struct {
 	// world builder, so walks over this slice (invariant sweeps, state
 	// digests) are reproducible without sorting.
 	components []any
+	// compBuf backs components for small worlds so registration costs no
+	// heap allocation; engines hosting more than its length spill into a
+	// grown slice the usual way.
+	compBuf [24]any
 	onRegister func(c any)
 	// afterStep, when non-nil, runs after every fired event. It is the only
 	// hook the hot path pays for — a single nil check per Step — and is how
@@ -105,9 +109,7 @@ func (e *Engine) Register(c any) {
 		return
 	}
 	if e.components == nil {
-		// Sized for the largest figure worlds so registration never
-		// reallocates mid-run; engines that register nothing pay nothing.
-		e.components = make([]any, 0, 128)
+		e.components = e.compBuf[:0]
 	}
 	e.components = append(e.components, c)
 	if e.onRegister != nil {
@@ -241,8 +243,29 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunBefore fires events with timestamps strictly before deadline, then sets
+// the clock to deadline. It is the half-open window primitive the sharded
+// barrier runs on: an event injected at exactly the next window boundary
+// belongs to the next window, so two shards agreeing on a boundary never
+// disagree about which side of it an event fired on.
+func (e *Engine) RunBefore(deadline time.Duration) {
+	e.run(func() bool { return e.queue[0].at < deadline })
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
 // RunFor advances the simulation by d of virtual time.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// PeekNext returns the timestamp of the earliest pending event. ok is false
+// when the queue is empty.
+func (e *Engine) PeekNext() (at time.Duration, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
 
 func (e *Engine) run(cond func() bool) {
 	if e.running {
@@ -252,7 +275,20 @@ func (e *Engine) run(cond func() bool) {
 	e.stopped = false
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 && !e.stopped && cond() {
-		e.Step()
+		if e.afterStep != nil {
+			e.Step()
+			continue
+		}
+		// Disarmed fast path: the step body is inlined here without the
+		// afterStep dispatch, so runs without -check/-digest pay nothing
+		// for the hook — not even the Step call.
+		ev := e.pop()
+		ev.expired = true
+		e.now = ev.at
+		fn := ev.fn
+		e.statsFired.Inc()
+		fn()
+		e.release(ev)
 	}
 }
 

@@ -97,6 +97,30 @@ func (s *Segment) Snapshot() Segment {
 	return c
 }
 
+// Migrate detaches the segment for delivery on another shard
+// (netem.Migratable): it returns a deep copy owned by the receiver and
+// releases the original into the sending shard's pool. Msgs must be copied
+// into fresh storage — the pool reuses the backing array on recycle — and
+// framing values that are themselves pooled or mutable migrate recursively.
+func (s *Segment) Migrate() any {
+	c := &Segment{}
+	*c = *s
+	c.pool, c.pooled, c.gen = nil, false, 0
+	if len(s.Msgs) > 0 {
+		c.Msgs = make([]AppMessage, len(s.Msgs))
+		copy(c.Msgs, s.Msgs)
+		for i := range c.Msgs {
+			if m, ok := c.Msgs[i].Val.(netem.Migratable); ok {
+				c.Msgs[i].Val = m.Migrate()
+			}
+		}
+	} else {
+		c.Msgs = nil
+	}
+	s.Release()
+	return c
+}
+
 // IsPureAck reports whether the segment carries only acknowledgement
 // information: no payload, no control flags. Pure ACKs are the packets whose
 // loss-robustness (40 bytes vs a full data packet) drives the paper's

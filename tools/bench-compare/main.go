@@ -1,12 +1,13 @@
 // Command bench-compare diffs two entries of the wp2p.bench.v1 performance
 // trajectory (see internal/bench, cmd/wp2p-bench) and exits nonzero on a
 // regression: wall time up more than -max-wall-pct on any shared workload,
-// or allocs/op up at all. CI runs it to keep the data-path allocation work
-// from eroding.
+// allocs/op up at all, or events/sec down more than -min-events-pct. CI runs
+// it to keep the data-path allocation work from eroding.
 //
 // Usage:
 //
-//	bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct 10] BASE.json [NEW.json]
+//	bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct 10] \
+//	    [-min-events-pct 10] BASE.json [NEW.json]
 //
 // With one file, the default compares the first entry (the oldest baseline)
 // against the last (the newest measurement). With two files, the last entry
@@ -42,9 +43,10 @@ func main() {
 	baseLabel := flag.String("base", "", "baseline entry label (default: first entry / last of BASE.json)")
 	newLabel := flag.String("new", "", "candidate entry label (default: last entry)")
 	maxWallPct := flag.Float64("max-wall-pct", 10, "max tolerated wall-time regression, percent")
+	minEventsPct := flag.Float64("min-events-pct", 10, "max tolerated events/sec throughput drop, percent (skipped when either entry lacks the rate)")
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct N] BASE.json [NEW.json]")
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-base LABEL] [-new LABEL] [-max-wall-pct N] [-min-events-pct N] BASE.json [NEW.json]")
 		os.Exit(2)
 	}
 	basePath := flag.Arg(0)
@@ -91,14 +93,14 @@ func main() {
 	}
 
 	fmt.Printf("comparing %q -> %q\n", baseEntry.Label, newEntry.Label)
-	fmt.Printf("%-12s %15s %15s %8s   %13s %13s\n",
-		"workload", "wall(base)", "wall(new)", "Δwall", "allocs(base)", "allocs(new)")
+	fmt.Printf("%-16s %15s %15s %8s   %13s %13s %10s\n",
+		"workload", "wall(base)", "wall(new)", "Δwall", "allocs(base)", "allocs(new)", "Δev/s")
 	failed := false
 	shared := 0
 	for _, nw := range newEntry.Workloads {
 		bw := baseEntry.Workload(nw.Name)
 		if bw == nil {
-			fmt.Printf("%-12s (new workload, no baseline)\n", nw.Name)
+			fmt.Printf("%-16s (new workload, no baseline)\n", nw.Name)
 			continue
 		}
 		shared++
@@ -115,9 +117,21 @@ func main() {
 			verdicts += "  ALLOCS REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-12s %13dns %13dns %+7.1f%%   %13d %13d%s\n",
+		// Events/sec is the engine-throughput floor: a drop means each sim
+		// event got more expensive even if the workload shrank. Entries
+		// recorded before the rate existed carry zero — skip those.
+		evCol := fmt.Sprintf("%10s", "-")
+		if bw.EventsPerSec > 0 && nw.EventsPerSec > 0 {
+			evPct := 100 * (nw.EventsPerSec - bw.EventsPerSec) / bw.EventsPerSec
+			evCol = fmt.Sprintf("%+9.1f%%", evPct)
+			if evPct < -*minEventsPct {
+				verdicts += fmt.Sprintf("  EVENTS/SEC REGRESSION (>%g%% drop)", *minEventsPct)
+				failed = true
+			}
+		}
+		fmt.Printf("%-16s %13dns %13dns %+7.1f%%   %13d %13d %s%s\n",
 			nw.Name, bw.WallNsPerOp, nw.WallNsPerOp, wallPct,
-			bw.AllocsPerOp, nw.AllocsPerOp, verdicts)
+			bw.AllocsPerOp, nw.AllocsPerOp, evCol, verdicts)
 	}
 	if shared == 0 {
 		fmt.Fprintln(os.Stderr, "bench-compare: no shared workloads between entries")
