@@ -40,6 +40,7 @@ import (
 	"github.com/wp2p/wp2p/internal/experiments"
 	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/scenario"
+	"github.com/wp2p/wp2p/internal/telemetry"
 )
 
 // workload is one macro-benchmark: run executes a full experiment and
@@ -100,6 +101,9 @@ func main() {
 	flashCrowdLarge := flag.String("flash-crowd-large", "examples/scenarios/flash-crowd-large.json", "flash-crowd-large scenario spec path")
 	benchtime := flag.Int("benchtime", 0, "fixed iteration count (0 = auto, ~1s per workload)")
 	checkOn := flag.Bool("check", false, "run workloads with invariant sweeps armed (measures the checker's own overhead)")
+	tsFile := flag.String("timeseries", "", "sample metric series during the workloads and write wp2p.timeseries.v1 JSON to this file (measures the sampler's own overhead)")
+	sampleEvery := flag.Duration("sample-every", 0, "sim-time interval between telemetry samples (0 = 5s; needs -timeseries)")
+	barrierProf := flag.Bool("barrierprofile", false, "print the sharded-engine barrier profile table after the workloads (needs -shards ≥ 1)")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "wp2p-bench: -label is required")
@@ -107,6 +111,12 @@ func main() {
 	}
 	if *checkOn {
 		experiments.EnableChecking(0)
+	}
+	if *tsFile != "" {
+		experiments.EnableTelemetry(telemetry.Config{Every: *sampleEvery})
+	}
+	if *barrierProf {
+		experiments.EnableBarrierProfile()
 	}
 
 	// Pin the sequential runner path so entries are comparable across
@@ -132,7 +142,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	entry := bench.Entry{Label: *label, GoVersion: runtime.Version(), Scale: *scale, Shards: *shards}
+	entry := bench.Entry{
+		Label: *label, GoVersion: runtime.Version(), Scale: *scale,
+		Shards: *shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	for _, w := range workloads(*flashCrowd, *flashCrowdLarge, *shards) {
 		if !want[w.name] {
 			continue
@@ -140,6 +153,8 @@ func main() {
 		delete(want, w.name)
 		var lastRes *experiments.Result
 		var runErr error
+		var gcBefore runtime.MemStats
+		runtime.ReadMemStats(&gcBefore)
 		bfn := func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := w.run(*scale)
@@ -182,13 +197,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wp2p-bench: %s: %v\n", w.name, runErr)
 			os.Exit(1)
 		}
+		// Environment footprint, read outside the timed loop so the wall
+		// numbers stay comparable with older entries.
+		var gcAfter runtime.MemStats
+		runtime.ReadMemStats(&gcAfter)
 		wl := bench.Workload{
-			Name:        w.name,
-			Iters:       r.N,
-			WallNsPerOp: r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			EventsPerOp: eventsFired(lastRes),
+			Name:          w.name,
+			Iters:         r.N,
+			WallNsPerOp:   r.NsPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			EventsPerOp:   eventsFired(lastRes),
+			PeakHeapBytes: int64(gcAfter.HeapSys),
+			GCCycles:      int64(gcAfter.NumGC - gcBefore.NumGC),
 		}
 		if wl.WallNsPerOp > 0 {
 			wl.EventsPerSec = float64(wl.EventsPerOp) / (float64(wl.WallNsPerOp) / 1e9)
@@ -210,4 +231,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("recorded entry %q in %s\n", *label, *out)
+
+	if *tsFile != "" {
+		if err := writeTimeseriesFile(*tsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote timeseries %s\n", *tsFile)
+	}
+	if *barrierProf {
+		if err := experiments.WriteBarrierProfile(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTimeseriesFile dumps the telemetry series collected across all
+// workload runs.
+func writeTimeseriesFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTimeseries(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/wp2p/wp2p/internal/experiments"
 	"github.com/wp2p/wp2p/internal/runner"
 	"github.com/wp2p/wp2p/internal/scenario"
+	"github.com/wp2p/wp2p/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func run() int {
 	checkOn := flag.Bool("check", false, "sweep runtime invariants every few thousand events; violations abort with the seed")
 	digestFile := flag.String("digest", "", "write a wp2p.digest.v1 determinism digest stream to this file (implies -check)")
 	digestEvery := flag.Int("digestevery", 0, "events between digest samples (0 = default 4096)")
+	tsFile := flag.String("timeseries", "", "sample metric series over sim time and write wp2p.timeseries.v1 JSON to this file")
+	sampleEvery := flag.Duration("sample-every", 0, "sim-time interval between telemetry samples (0 = 5s; needs -timeseries)")
+	barrierProf := flag.Bool("barrierprofile", false, "print the sharded-engine barrier profile table after the runs (needs -shards ≥ 1)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wp2p-scenario [-validate] [-scale f] [-parallel n] [-sweep path=v1,v2] [-stats] [-json dir] [-check] [-digest file] file.json ...\n")
 		flag.PrintDefaults()
@@ -103,6 +107,12 @@ func run() int {
 	if *digestFile != "" {
 		experiments.EnableDigests(*digestEvery)
 	}
+	if *tsFile != "" {
+		experiments.EnableTelemetry(telemetry.Config{Every: *sampleEvery})
+	}
+	if *barrierProf {
+		experiments.EnableBarrierProfile()
+	}
 
 	runner.SetWorkers(*parallel)
 
@@ -146,7 +156,35 @@ func run() int {
 			fmt.Printf("[wrote digest stream %s]\n", *digestFile)
 		}
 	}
+	if *tsFile != "" {
+		if err := writeTimeseriesFile(*tsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Printf("[wrote timeseries %s]\n", *tsFile)
+		}
+	}
+	if *barrierProf {
+		if err := experiments.WriteBarrierProfile(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			exit = 1
+		}
+	}
 	return exit
+}
+
+// writeTimeseriesFile dumps the telemetry series collected across all
+// worlds.
+func writeTimeseriesFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTimeseries(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeDigestFile dumps the digest streams collected across all worlds.

@@ -41,6 +41,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/experiments"
 	"github.com/wp2p/wp2p/internal/runner"
+	"github.com/wp2p/wp2p/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +62,9 @@ func run() int {
 	checkOn := flag.Bool("check", false, "sweep runtime invariants every few thousand events; violations abort with the seed")
 	digestFile := flag.String("digest", "", "write a wp2p.digest.v1 determinism digest stream to this file (implies -check)")
 	digestEvery := flag.Int("digestevery", 0, "events between digest samples (0 = default 4096)")
+	tsFile := flag.String("timeseries", "", "sample metric series over sim time and write wp2p.timeseries.v1 JSON to this file")
+	sampleEvery := flag.Duration("sample-every", 0, "sim-time interval between telemetry samples (0 = 5s; needs -timeseries)")
+	barrierProf := flag.Bool("barrierprofile", false, "print the sharded-engine barrier profile table after the runs (needs -shards ≥ 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
@@ -99,6 +103,12 @@ func run() int {
 	}
 	if *digestFile != "" {
 		experiments.EnableDigests(*digestEvery)
+	}
+	if *tsFile != "" {
+		experiments.EnableTelemetry(telemetry.Config{Every: *sampleEvery})
+	}
+	if *barrierProf {
+		experiments.EnableBarrierProfile()
 	}
 
 	runner.SetWorkers(*parallel)
@@ -153,6 +163,20 @@ func run() int {
 			fmt.Printf("[wrote digest stream %s]\n", *digestFile)
 		}
 	}
+	if *tsFile != "" {
+		if err := writeTimeseriesFile(*tsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Printf("[wrote timeseries %s]\n", *tsFile)
+		}
+	}
+	if *barrierProf {
+		if err := experiments.WriteBarrierProfile(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-sim: %v\n", err)
+			exit = 1
+		}
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -177,6 +201,20 @@ func writeDigestFile(path string) error {
 		return err
 	}
 	if err := experiments.WriteDigests(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimeseriesFile dumps the telemetry series collected across all
+// worlds.
+func writeTimeseriesFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTimeseries(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -36,20 +36,32 @@ type Entry struct {
 	// Shards is the -shards worker count the workloads ran with (0 = the
 	// single-engine path). Recorded so scaling rows are self-describing;
 	// results are identical at any value, only the wall time moves.
-	Shards    int        `json:"shards,omitempty"`
-	Workloads []Workload `json:"workloads"`
+	Shards int `json:"shards,omitempty"`
+	// GOMAXPROCS records the scheduler width the numbers came from — the
+	// context a -shards row needs before its wall time means anything (a
+	// 1-core box cannot show a multi-worker speedup).
+	GOMAXPROCS int        `json:"gomaxprocs,omitempty"`
+	Workloads  []Workload `json:"workloads"`
 }
 
 // Workload is one macro-benchmark measurement: a full experiment or
 // scenario run treated as a single benchmark op.
 type Workload struct {
-	Name        string `json:"name"`
-	Iters       int    `json:"iters"`           // benchmark iterations measured
-	WallNsPerOp int64  `json:"wall_ns_per_op"`  // wall time per op
-	AllocsPerOp int64  `json:"allocs_per_op"`   // heap allocations per op
-	BytesPerOp  int64  `json:"bytes_per_op"`    // heap bytes per op
-	EventsPerOp int64  `json:"events_per_op"`   // sim events fired per op
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`          // benchmark iterations measured
+	WallNsPerOp  int64   `json:"wall_ns_per_op"` // wall time per op
+	AllocsPerOp  int64   `json:"allocs_per_op"`  // heap allocations per op
+	BytesPerOp   int64   `json:"bytes_per_op"`   // heap bytes per op
+	EventsPerOp  int64   `json:"events_per_op"`  // sim events fired per op
 	EventsPerSec float64 `json:"events_per_sec"` // events/op ÷ wall seconds/op
+	// PeakHeapBytes is the heap's OS footprint (MemStats.HeapSys) right
+	// after the workload's measurement: spans are seldom returned to the OS
+	// mid-run, so it approximates the run's high-water heap. Read outside
+	// the timed loop — it does not perturb wall_ns_per_op.
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
+	// GCCycles is how many collections the workload's whole measurement
+	// (all iterations) triggered.
+	GCCycles int64 `json:"gc_cycles,omitempty"`
 }
 
 // Find returns the entry with the given label, or nil.

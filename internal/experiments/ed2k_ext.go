@@ -113,7 +113,7 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 
 		sample := cfg.Horizon / 20
 		for t := sample; t <= cfg.Horizon; t += sample {
-			w.Engine.RunFor(sample)
+			w.RunFor(sample)
 			x = append(x, t.Minutes())
 			y = append(y, mb(mobile.Downloaded()))
 		}

@@ -107,7 +107,7 @@ func AblationWP2P(cfg AblationConfig) *Result {
 		}
 		h.Start()
 
-		w.Engine.RunFor(cfg.Horizon)
+		w.RunFor(cfg.Horizon)
 		have := client.BT.Have()
 		if have.Count() > 0 {
 			playable = 100 * playableShareOfFetched(have, tor)
@@ -228,7 +228,7 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 			fgTotal += int64(n)
 			fgRx.Add(w.Engine.Now(), int64(n))
 		}
-		w.Engine.RunFor(2 * time.Second)
+		w.RunFor(2 * time.Second)
 		if fgConn != nil {
 			fgConn.Write(1 << 30)
 		}
@@ -252,7 +252,7 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 				seedUp = c.Uploaded
 			}
 		}
-		w.Engine.RunFor(cfg.Horizon)
+		w.RunFor(cfg.Horizon)
 		secs := cfg.Horizon.Seconds()
 		return float64(fgTotal) / secs, float64(seedUp()) / secs
 	}

@@ -66,7 +66,7 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 		var server *tcp.Conn
 		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
 		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
-		w.Engine.RunFor(3 * time.Second)
+		w.RunFor(3 * time.Second)
 		if server == nil {
 			return 0
 		}
@@ -78,7 +78,7 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 			client.Write(plenty) // mobile streams back on the same connection
 		}
 		start := w.Engine.Now()
-		w.Engine.RunFor(cfg.Duration)
+		w.RunFor(cfg.Duration)
 		return float64(rcvd) / (w.Engine.Now() - start).Seconds()
 	}
 
@@ -170,7 +170,7 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 		var server *tcp.Conn
 		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
 		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
-		w.Engine.RunFor(2 * time.Second)
+		w.RunFor(2 * time.Second)
 		if server == nil {
 			return nil, nil, nil, 0
 		}
@@ -181,7 +181,7 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 		}
 		start := w.Engine.Now()
 		for w.Engine.Now()-start < cfg.Duration {
-			w.Engine.RunFor(cfg.Sample)
+			w.RunFor(cfg.Sample)
 			t := (w.Engine.Now() - start).Seconds()
 			inFlight := float64(mobile.WLAN.InFlight())
 			times = append(times, t)

@@ -135,7 +135,7 @@ func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64, col *stats.C
 		me.Start()
 		mine = append(mine, me)
 	}
-	w.Engine.RunFor(duration)
+	w.RunFor(duration)
 	var total int64
 	for _, c := range mine {
 		total += c.Downloaded()
@@ -301,7 +301,7 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 			h.Start()
 		}
 		for t := cfg.SamplePeriod; t <= cfg.Horizon; t += cfg.SamplePeriod {
-			w.Engine.RunFor(cfg.SamplePeriod)
+			w.RunFor(cfg.SamplePeriod)
 			x = append(x, t.Minutes())
 			y = append(y, mb(me.Downloaded()))
 		}

@@ -158,7 +158,7 @@ func playabilityCurve(seed int64, fileSize int64, picker bt.Picker, col *stats.C
 	// Generously long: stop as soon as complete.
 	deadline := w.Engine.Now() + 4*time.Hour
 	for !leech.Complete() && w.Engine.Now() < deadline {
-		w.Engine.RunFor(30 * time.Second)
+		w.RunFor(30 * time.Second)
 	}
 	out := make([]float64, 0, 10)
 	for d := 10; d <= 100; d += 10 {

@@ -89,7 +89,7 @@ func Fig8aAgeBasedManipulation(cfg Fig8aConfig) *Result {
 		})
 		def.Start()
 		wpc.Start()
-		w.Engine.RunFor(cfg.Duration)
+		w.RunFor(cfg.Duration)
 		// A client that completed early is rated over its active time, not
 		// the full window, so completion does not cap the estimate.
 		rate := func(dl int64, doneAt time.Duration) float64 {
@@ -235,7 +235,7 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 
 		sample := cfg.Horizon / 25
 		for t := sample; t <= cfg.Horizon; t += sample {
-			w.Engine.RunFor(sample)
+			w.RunFor(sample)
 			x = append(x, t.Minutes())
 			defY = append(defY, mb(def.Downloaded()))
 			wpY = append(wpY, mb(wpc.BT.Downloaded()))
@@ -342,14 +342,14 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 				},
 			})
 			c.Start()
-			w.Engine.RunFor(cfg.Duration)
+			w.RunFor(cfg.Duration)
 			return float64(c.BT.Downloaded()) / cfg.Duration.Seconds()
 		}
 		c := bt.NewClient(bt.Config{
 			Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2,
 		})
 		c.Start()
-		w.Engine.RunFor(cfg.Duration)
+		w.RunFor(cfg.Duration)
 		return float64(c.Downloaded()) / cfg.Duration.Seconds()
 	}
 

@@ -120,7 +120,7 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 		}
 		h := mobility.NewHandoff(w.Engine, w.Net, mob.Iface, mobility.NewIPAllocator(5000), period)
 		h.Start() // default stays oblivious; wP2P's RR reacts on its own
-		w.Engine.RunFor(cfg.Horizon)
+		w.RunFor(cfg.Horizon)
 		return float64(uploaded()) / cfg.Horizon.Seconds()
 	}
 

@@ -88,10 +88,10 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 					mobility.NewIPAllocator(netem.IP(8000+i*500)), period)
 				handoffs = append(handoffs, h)
 			}
-			w.Engine.RunFor(100 * time.Millisecond)
+			w.RunFor(100 * time.Millisecond)
 			src.ConnectNeighbor(searcher.Addr())
 		}
-		w.Engine.RunFor(2 * time.Second)
+		w.RunFor(2 * time.Second)
 		searcher.Search("video")
 		for _, h := range handoffs {
 			h.Start()
@@ -102,7 +102,7 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 		elapsed := time.Duration(0)
 		step := 10 * time.Second
 		for elapsed < cfg.Horizon && !searcher.Complete("video") {
-			w.Engine.RunFor(step)
+			w.RunFor(step)
 			elapsed += step
 			for _, src := range responders {
 				if src.Neighbors() == 0 {

@@ -99,13 +99,21 @@ func NewWorldSharded(seed int64, announce time.Duration, netCfg netem.NetworkCon
 	}
 	w.perm = rand.New(rand.NewSource(seed ^ hostShardSalt)).Perm(logical)
 
-	// Tracing watches shard 0 only: the recorder rings are single-engine
-	// structures and cross-shard watches would race with the workers.
+	// Tracing runs one recorder per shard — rings are single-engine
+	// structures, so each shard's model code emits only into its own —
+	// tagged with the shard id; Finish dumps the merged timeline and digest
+	// streams carry per-shard tails.
 	tracing.mu.Lock()
 	if tracing.enabled {
-		w.Rec = trace.NewRecorder(se.Shard(0), tracing.capacity)
-		w.Rec.SetFilter(trace.ParseFilter(tracing.spec))
-		trace.WatchNetwork(w.Rec, "net", nets[0])
+		w.Recs = make([]*trace.Recorder, logical)
+		filter := trace.ParseFilter(tracing.spec)
+		for i := range w.Recs {
+			w.Recs[i] = trace.NewRecorder(se.Shard(i), tracing.capacity)
+			w.Recs[i].SetShard(i)
+			w.Recs[i].SetFilter(filter)
+			trace.WatchNetwork(w.Recs[i], "net", nets[i])
+		}
+		w.Rec = w.Recs[0]
 	}
 	tracing.mu.Unlock()
 	checking.mu.Lock()
@@ -123,6 +131,12 @@ func NewWorldSharded(seed int64, announce time.Duration, netCfg netem.NetworkCon
 		se.SetCheckEnabled(true)
 	}
 	checking.mu.Unlock()
+	w.attachProbe()
+	profiling.mu.Lock()
+	if profiling.enabled {
+		se.EnableProfile()
+	}
+	profiling.mu.Unlock()
 	return w
 }
 
@@ -176,15 +190,30 @@ func (r *remoteAnnouncer) Announce(req bt.AnnounceRequest, cb func(bt.AnnounceRe
 // RunFor advances the world — the coordinator in a sharded world, the engine
 // otherwise.
 func (w *World) RunFor(d time.Duration) {
-	if w.Sharded != nil {
-		w.Sharded.RunFor(d)
-		return
-	}
-	w.Engine.RunFor(d)
+	w.RunUntil(w.Now() + d)
 }
 
-// RunUntil advances the world to an absolute virtual time.
+// RunUntil advances the world to an absolute virtual time. With a telemetry
+// probe armed, the advance is chunked at the probe's sample boundaries and
+// the probe samples between chunks — on the single-engine path this leaves
+// the trajectory untouched (no events scheduled, no sequence numbers
+// consumed); on the sharded path the extra barrier at each boundary is part
+// of the (still deterministic, worker-count-invariant) telemetry trajectory.
 func (w *World) RunUntil(t time.Duration) {
+	if w.Probe != nil {
+		for {
+			nb := w.Probe.NextBoundary()
+			if nb > t {
+				break
+			}
+			w.runUntil(nb)
+			w.Probe.SampleAt(nb)
+		}
+	}
+	w.runUntil(t)
+}
+
+func (w *World) runUntil(t time.Duration) {
 	if w.Sharded != nil {
 		w.Sharded.RunUntil(t)
 		return

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/telemetry"
+)
+
+// telem is the package-level telemetry configuration the CLIs set with
+// EnableTelemetry. Like tracing and checking, worlds are built inside
+// worker-pool closures, so the config and the shared collector live behind
+// a mutex; the collector's merge is commutative, so the exported series are
+// byte-identical regardless of -parallel scheduling.
+var telem struct {
+	mu      sync.Mutex
+	enabled bool
+	cfg     telemetry.Config
+	col     *telemetry.Collector
+}
+
+// EnableTelemetry attaches a sampling probe to every subsequently created
+// World. Sampling is driven from the experiment harness between event
+// windows (see World.RunUntil), never from scheduled events, so arming a
+// probe does not perturb the single-engine trajectory. Finished worlds fold
+// their series into one package-level collector; WriteTimeseries exports it.
+func EnableTelemetry(cfg telemetry.Config) {
+	telem.mu.Lock()
+	defer telem.mu.Unlock()
+	telem.enabled = true
+	telem.cfg = cfg
+	telem.col = telemetry.NewCollector()
+}
+
+// DisableTelemetry stops attaching probes to new worlds and drops any
+// accumulated series.
+func DisableTelemetry() {
+	telem.mu.Lock()
+	defer telem.mu.Unlock()
+	telem.enabled = false
+	telem.col = nil
+}
+
+// TimeseriesExport returns the accumulated wp2p.timeseries.v1 document, or
+// nil when telemetry was never enabled.
+func TimeseriesExport() *telemetry.Export {
+	telem.mu.Lock()
+	col := telem.col
+	telem.mu.Unlock()
+	if col == nil {
+		return nil
+	}
+	return col.Export()
+}
+
+// WriteTimeseries writes the accumulated series in wp2p.timeseries.v1
+// format.
+func WriteTimeseries(w io.Writer) error {
+	e := TimeseriesExport()
+	if e == nil {
+		return fmt.Errorf("experiments: telemetry was not enabled")
+	}
+	return e.WriteJSON(w)
+}
+
+// attachProbe arms a world's probe per the package config. Called under no
+// lock; takes telem.mu itself.
+func (w *World) attachProbe() {
+	telem.mu.Lock()
+	enabled, cfg := telem.enabled, telem.cfg
+	telem.mu.Unlock()
+	if !enabled {
+		return
+	}
+	p := telemetry.NewProbe(cfg)
+	if w.Sharded != nil {
+		for i := range w.Shards {
+			p.AddRegistry(w.Shards[i].Engine.Stats())
+		}
+		// Per-shard event trajectories are the telemetry face of the barrier
+		// profiler: a shard whose curve flattens while others climb is the
+		// convoy straggler's victim.
+		p.SpotlightShards("sim.events_fired")
+	} else {
+		p.AddRegistry(w.Engine.Stats())
+	}
+	w.Probe = p
+}
+
+// finishProbe folds the world's series into the package collector.
+func (w *World) finishProbe() {
+	if w.Probe == nil {
+		return
+	}
+	telem.mu.Lock()
+	col := telem.col
+	telem.mu.Unlock()
+	if col != nil {
+		col.Add(w.Probe)
+	}
+	w.Probe = nil
+}
+
+// Annotate marks the world's timeline at virtual time at — scenario fault
+// injections label their storms this way. A no-op without telemetry.
+func (w *World) Annotate(at time.Duration, label string) {
+	if w.Probe != nil {
+		w.Probe.Annotate(at, label)
+	}
+}
+
+// profiling is the package-level barrier-profiler switch (-barrierprofile).
+// Profiles from finished sharded worlds merge into one aggregate table.
+var profiling struct {
+	mu      sync.Mutex
+	enabled bool
+	agg     *sim.BarrierProfile
+}
+
+// EnableBarrierProfile arms wall-clock barrier profiling on every
+// subsequently created sharded world. Single-engine worlds have no barrier
+// and are unaffected.
+func EnableBarrierProfile() {
+	profiling.mu.Lock()
+	defer profiling.mu.Unlock()
+	profiling.enabled = true
+}
+
+// DisableBarrierProfile stops profiling new worlds and drops the aggregate.
+func DisableBarrierProfile() {
+	profiling.mu.Lock()
+	defer profiling.mu.Unlock()
+	profiling.enabled = false
+	profiling.agg = nil
+}
+
+// BarrierProfileAggregate returns the merged profile across every finished
+// sharded world, or nil when none was profiled (profiling off, or the run
+// used the single-engine path).
+func BarrierProfileAggregate() *sim.BarrierProfile {
+	profiling.mu.Lock()
+	defer profiling.mu.Unlock()
+	return profiling.agg
+}
+
+// WriteBarrierProfile renders the aggregate as the -barrierprofile table.
+func WriteBarrierProfile(w io.Writer) error {
+	bp := BarrierProfileAggregate()
+	if bp == nil {
+		return fmt.Errorf("experiments: no barrier profile collected (is the run sharded and -barrierprofile set?)")
+	}
+	bp.WriteTable(w)
+	return nil
+}
+
+// finishProfile folds a sharded world's profile into the aggregate.
+func (w *World) finishProfile() {
+	if w.Sharded == nil {
+		return
+	}
+	bp := w.Sharded.Profile()
+	if bp == nil {
+		return
+	}
+	profiling.mu.Lock()
+	if profiling.agg == nil {
+		profiling.agg = bp
+	} else {
+		profiling.agg.Merge(bp)
+	}
+	profiling.mu.Unlock()
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/telemetry"
 	"github.com/wp2p/wp2p/internal/trace"
 )
 
@@ -25,13 +26,24 @@ type World struct {
 
 	// Rec is the world's flight recorder, non-nil only while package-level
 	// tracing (EnableTracing) is on. Experiment code may add its own watch
-	// points to it.
+	// points to it. In a sharded world it aliases shard 0's recorder; watch
+	// points for hosts on other shards belong on the matching Recs entry.
 	Rec *trace.Recorder
+
+	// Recs holds one shard-tagged recorder per shard in a traced sharded
+	// world (empty otherwise). Finish dumps their merged timeline.
+	Recs []*trace.Recorder
 
 	// Chk is the world's invariant checker, non-nil only while package-level
 	// checking (EnableChecking) is on. In a sharded world it is shard 0's
 	// checker; the others are internal.
 	Chk *check.Checker
+
+	// Probe is the world's telemetry sampler, non-nil only while
+	// package-level telemetry (EnableTelemetry) is on. World.RunFor/RunUntil
+	// drive it at sample boundaries; Finish folds it into the package
+	// collector.
+	Probe *telemetry.Probe
 
 	// Sharded is the coordinator of a sharded world (NewWorldSharded with
 	// Workers ≥ 1), nil on the single-engine path. Engine and Net then alias
@@ -199,6 +211,7 @@ func NewWorldNet(seed int64, announce time.Duration, netCfg netem.NetworkConfig)
 		})
 	}
 	checking.mu.Unlock()
+	w.attachProbe()
 	return w
 }
 
@@ -222,9 +235,11 @@ func (w *World) onViolation(v check.Violation) {
 // the recorder's retained tail is dumped. Runners defer this right after
 // NewWorld so every world a figure builds is accounted for exactly once.
 func (w *World) Finish(col *stats.Collector) {
+	w.finishProfile()
 	if w.Sharded != nil {
 		w.Sharded.Close()
 	}
+	w.finishProbe()
 	if col != nil {
 		// Per-shard registries merge commutatively — counters only — so the
 		// collector's totals are shard- and worker-count independent.
@@ -244,8 +259,8 @@ func (w *World) Finish(col *stats.Collector) {
 					Label:   fmt.Sprintf("seed=%d/shard=%d", w.seed, i),
 					Records: c.Records(),
 				}
-				if i == 0 && w.Rec != nil {
-					for _, ev := range w.Rec.Events() {
+				if rec := w.recFor(i); rec != nil {
+					for _, ev := range rec.Events() {
 						st.Tail = append(st.Tail, ev.String())
 					}
 				}
@@ -278,9 +293,34 @@ func (w *World) Finish(col *stats.Collector) {
 	if tracing.sink == nil {
 		return
 	}
+	if len(w.Recs) > 1 {
+		var total int64
+		retained := 0
+		for _, r := range w.Recs {
+			total += r.Total()
+			retained += len(r.Events())
+		}
+		fmt.Fprintf(tracing.sink, "== trace seed=%d shards=%d total=%d retained=%d ==\n",
+			w.seed, len(w.Recs), total, retained)
+		trace.DumpMerged(tracing.sink, w.Recs...)
+		return
+	}
 	fmt.Fprintf(tracing.sink, "== trace seed=%d total=%d retained=%d ==\n",
 		w.seed, w.Rec.Total(), len(w.Rec.Events()))
 	w.Rec.Dump(tracing.sink)
+}
+
+// recFor returns the flight recorder owning a shard's timeline: the
+// per-shard recorder in a traced sharded world, the world recorder for
+// shard 0 otherwise, nil when tracing is off.
+func (w *World) recFor(shard int) *trace.Recorder {
+	if len(w.Recs) > 0 {
+		return w.Recs[shard]
+	}
+	if shard == 0 {
+		return w.Rec
+	}
+	return nil
 }
 
 // NextIP hands out a fresh host address.
@@ -325,9 +365,9 @@ func (w *World) WiredHostLink(cfg netem.AccessLinkConfig) *Host {
 	link := netem.NewAccessLink(eng, cfg)
 	ip := w.NextIP()
 	iface := net.Attach(ip, link, nil)
-	if w.Rec != nil && shard == 0 {
-		trace.WatchLink(w.Rec, fmt.Sprintf("wired.%d", ip), link)
-		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
+	if rec := w.recFor(shard); rec != nil {
+		trace.WatchLink(rec, fmt.Sprintf("wired.%d", ip), link)
+		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
 	}
 	return &Host{
 		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
@@ -363,9 +403,9 @@ func (w *World) WirelessHost(cfg netem.WirelessConfig) *Host {
 	ch := netem.NewWirelessChannel(eng, cfg)
 	ip := w.NextIP()
 	iface := net.Attach(ip, ch, nil)
-	if w.Rec != nil && shard == 0 {
-		trace.WatchWireless(w.Rec, fmt.Sprintf("wlan.%d", ip), ch)
-		trace.WatchIface(w.Rec, fmt.Sprintf("host.%d", ip), iface)
+	if rec := w.recFor(shard); rec != nil {
+		trace.WatchWireless(rec, fmt.Sprintf("wlan.%d", ip), ch)
+		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
 	}
 	return &Host{
 		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),

@@ -28,6 +28,7 @@ func (c *compiled) armEvents() {
 
 // fire applies one event.
 func (c *compiled) fire(ev *Event) {
+	c.annotate(ev)
 	switch ev.Action {
 	case ActJoin:
 		c.fireJoin(ev)
@@ -78,6 +79,17 @@ func (c *compiled) fire(ev *Event) {
 	case ActHeal:
 		c.setPartition(ev.A, ev.B, false)
 	}
+}
+
+// annotate marks the fault on the telemetry timeline (a no-op without
+// -timeseries), so the timeline report can draw the storm that caused the
+// throughput dip it shows.
+func (c *compiled) annotate(ev *Event) {
+	label := ev.Action
+	if ev.Peers != "" {
+		label += " " + ev.Peers
+	}
+	c.w.Annotate(c.w.Now(), label)
 }
 
 // fireJoin starts up to Count not-yet-started instances of the group, in

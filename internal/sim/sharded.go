@@ -73,9 +73,17 @@ type ShardedEngine struct {
 	panicked bool
 
 	// Coordinator-side counters, registered on shard 0 so they fold into
-	// the same collector as every other instrument.
-	regWindows *stats.Counter
-	regCross   *stats.Counter
+	// the same collector as every other instrument. All are worker-count
+	// invariant (see shardprof.go for the determinism split).
+	regWindows   *stats.Counter
+	regCross     *stats.Counter
+	regWindowNS  *stats.Counter
+	regGlobals   *stats.Counter
+	regGlobalCap *stats.Counter
+	regQueuePeak *stats.Gauge
+
+	// prof holds the wall-clock barrier profiler; nil until EnableProfile.
+	prof *shardProf
 }
 
 // globalEvent is one coordinator-side control event.
@@ -162,6 +170,10 @@ func NewShardedEngine(cfg ShardedConfig) *ShardedEngine {
 	}
 	s.regWindows = s.shards[0].Stats().Counter("sim.shard.windows")
 	s.regCross = s.shards[0].Stats().Counter("sim.shard.cross_events")
+	s.regWindowNS = s.shards[0].Stats().Counter("sim.shard.window_ns")
+	s.regGlobals = s.shards[0].Stats().Counter("sim.shard.globals_run")
+	s.regGlobalCap = s.shards[0].Stats().Counter("sim.shard.global_capped_windows")
+	s.regQueuePeak = s.shards[0].Stats().Gauge("sim.shard.queue_peak")
 	return s
 }
 
@@ -271,6 +283,7 @@ func (s *ShardedEngine) RunUntil(deadline time.Duration) {
 			// Stop the window at the global so it fires with every clock
 			// reading exactly its own timestamp.
 			wend = g
+			s.regGlobalCap.Inc()
 		}
 		if wend > deadline {
 			wend = deadline
@@ -278,6 +291,7 @@ func (s *ShardedEngine) RunUntil(deadline time.Duration) {
 		s.runRound(wend, false)
 		drained, globalsRun := s.barrier2()
 		s.regWindows.Inc()
+		s.regWindowNS.Add(int64(wend - t))
 		if s.checkEnabled && wend == t && drained == 0 && globalsRun == 0 {
 			// Bounded-wait assertion: a degenerate window that moved no
 			// time and did no work would repeat forever.
@@ -354,6 +368,10 @@ func (s *ShardedEngine) barrier2() (drained, globalsRun int) {
 		h()
 	}
 	now := s.Now()
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	for {
 		g, ok := s.popGlobalDue(now)
 		if !ok {
@@ -361,6 +379,12 @@ func (s *ShardedEngine) barrier2() (drained, globalsRun int) {
 		}
 		globalsRun++
 		g.fn()
+	}
+	if s.prof != nil {
+		s.prof.globalNS += time.Since(t0).Nanoseconds()
+	}
+	if globalsRun > 0 {
+		s.regGlobals.Add(int64(globalsRun))
 	}
 	drained += s.drainAll()
 	return drained, globalsRun
@@ -371,12 +395,19 @@ func (s *ShardedEngine) barrier2() (drained, globalsRun int) {
 // and so its tie-breaking among same-instant events — independent of how
 // many workers produced the queues.
 func (s *ShardedEngine) drainAll() int {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	n := 0
 	for dst := range s.shards {
 		e := s.shards[dst]
 		now := e.Now()
 		for src := range s.shards {
 			q := &s.queues[src][dst]
+			if depth := int64(len(q.items)); depth > 0 {
+				s.regQueuePeak.SetMax(depth)
+			}
 			for i := range q.items {
 				it := q.items[i]
 				if s.checkEnabled && it.at < now {
@@ -392,6 +423,9 @@ func (s *ShardedEngine) drainAll() int {
 	if n > 0 {
 		s.regCross.Add(int64(n))
 	}
+	if s.prof != nil {
+		s.prof.drainNS += time.Since(t0).Nanoseconds()
+	}
 	return n
 }
 
@@ -399,19 +433,31 @@ func (s *ShardedEngine) drainAll() int {
 // ordinary windows, inclusively (RunUntil) for the final deadline pass —
 // fanning shards over the worker pool when one is warranted.
 func (s *ShardedEngine) runRound(wend time.Duration, inclusive bool) {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	n := len(s.shards)
 	w := s.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 || n == 1 {
-		for _, sh := range s.shards {
+		for i, sh := range s.shards {
+			var e0 time.Time
+			if s.prof != nil {
+				e0 = time.Now()
+			}
 			if inclusive {
 				sh.RunUntil(wend)
 			} else {
 				sh.RunBefore(wend)
 			}
+			if s.prof != nil {
+				s.prof.execNS[i] += time.Since(e0).Nanoseconds()
+			}
 		}
+		s.finishRound(t0)
 		s.rethrow()
 		return
 	}
@@ -423,7 +469,19 @@ func (s *ShardedEngine) runRound(wend time.Duration, inclusive bool) {
 	}
 	s.consume(r)
 	r.wg.Wait()
+	s.finishRound(t0)
 	s.rethrow()
+}
+
+// finishRound accounts one runRound's wall time when profiling is armed.
+// It runs on the coordinator after the round's WaitGroup barrier, so every
+// worker's execNS writes for this round happen-before it.
+func (s *ShardedEngine) finishRound(t0 time.Time) {
+	if s.prof == nil {
+		return
+	}
+	s.prof.roundNS += time.Since(t0).Nanoseconds()
+	s.prof.rounds++
 }
 
 // consume pulls shard indexes from the round until none remain. A panic in
@@ -440,10 +498,19 @@ func (s *ShardedEngine) consume(r *windowRound) {
 		if i >= len(s.shards) {
 			return
 		}
+		var e0 time.Time
+		if s.prof != nil {
+			e0 = time.Now()
+		}
 		if r.inclusive {
 			s.shards[i].RunUntil(r.wend)
 		} else {
 			s.shards[i].RunBefore(r.wend)
+		}
+		if s.prof != nil {
+			// Exclusive per round (one worker runs shard i) and ordered
+			// across rounds by the coordinator's wg.Wait — plain add is safe.
+			s.prof.execNS[i] += time.Since(e0).Nanoseconds()
 		}
 	}
 }

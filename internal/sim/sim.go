@@ -52,7 +52,7 @@ type Engine struct {
 	// compBuf backs components for small worlds so registration costs no
 	// heap allocation; engines hosting more than its length spill into a
 	// grown slice the usual way.
-	compBuf [24]any
+	compBuf    [24]any
 	onRegister func(c any)
 	// afterStep, when non-nil, runs after every fired event. It is the only
 	// hook the hot path pays for — a single nil check per Step — and is how

@@ -159,6 +159,36 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// NumInstruments reports how many instruments the registry holds across all
+// three sections. The telemetry sampler uses it as a cheap change detector:
+// instruments are only ever added (never removed), so an unchanged count
+// means the sampler's cached bindings are still complete.
+func (r *Registry) NumInstruments() int {
+	return len(r.counters) + len(r.gauges) + len(r.histograms)
+}
+
+// EachCounter calls fn for every registered counter. Iteration order is the
+// map's (random); callers needing a stable order sort the names themselves.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	for name, c := range r.counters {
+		fn(name, c)
+	}
+}
+
+// EachGauge calls fn for every registered gauge, in map order.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	for name, g := range r.gauges {
+		fn(name, g)
+	}
+}
+
+// EachHistogram calls fn for every registered histogram, in map order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	for name, h := range r.histograms {
+		fn(name, h)
+	}
+}
+
 // CounterValue is one named count in a snapshot.
 type CounterValue struct {
 	Name  string `json:"name"`

@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/stats"
+)
+
+func TestProbeSamplesCountersAtCadence(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := reg.Counter("test.events")
+	p := NewProbe(Config{Every: time.Second})
+	p.AddRegistry(reg)
+
+	if got := p.NextBoundary(); got != time.Second {
+		t.Fatalf("first boundary = %v, want 1s", got)
+	}
+	for k := 1; k <= 3; k++ {
+		c.Add(int64(10 * k))
+		p.SampleAt(time.Duration(k) * time.Second)
+	}
+	if got := p.NextBoundary(); got != 4*time.Second {
+		t.Fatalf("boundary after 3 samples = %v, want 4s", got)
+	}
+
+	col := NewCollector()
+	col.Add(p)
+	e := col.Export()
+	s := findSeries(t, e, "test.events")
+	want := []int64{10, 30, 60} // cumulative counter values at each boundary
+	if !int64sEqual(s.V, want) {
+		t.Fatalf("series = %v, want %v", s.V, want)
+	}
+	if s.Kind != KindCounter {
+		t.Fatalf("kind = %q, want counter", s.Kind)
+	}
+	if e.EveryNS != int64(time.Second) || e.Runs != 1 {
+		t.Fatalf("every_ns=%d runs=%d", e.EveryNS, e.Runs)
+	}
+}
+
+func TestProbeGaugeAndHistogram(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := reg.Gauge("test.depth")
+	h := reg.Histogram("test.lat", []int64{10, 100})
+	p := NewProbe(Config{Every: time.Second})
+	p.AddRegistry(reg)
+
+	g.Set(7)
+	h.Observe(5)
+	h.Observe(50)
+	p.SampleAt(time.Second)
+	g.Set(3)
+	h.Observe(200)
+	p.SampleAt(2 * time.Second)
+
+	col := NewCollector()
+	col.Add(p)
+	e := col.Export()
+	if s := findSeries(t, e, "test.depth"); !int64sEqual(s.V, []int64{7, 3}) || s.Kind != KindGauge {
+		t.Fatalf("gauge series = %+v", s)
+	}
+	// Histograms export as count + sum pairs under one name.
+	var count, sum *SeriesData
+	for i := range e.Series {
+		if e.Series[i].Name == "test.lat" {
+			switch e.Series[i].Kind {
+			case KindHistCount:
+				count = &e.Series[i]
+			case KindHistSum:
+				sum = &e.Series[i]
+			}
+		}
+	}
+	if count == nil || sum == nil {
+		t.Fatalf("missing histogram series: %+v", e.Series)
+	}
+	if !int64sEqual(count.V, []int64{2, 3}) {
+		t.Fatalf("hist count = %v", count.V)
+	}
+	if !int64sEqual(sum.V, []int64{55, 255}) {
+		t.Fatalf("hist sum = %v", sum.V)
+	}
+}
+
+func TestProbeLateInstrumentBackfillsZeros(t *testing.T) {
+	reg := stats.NewRegistry()
+	reg.Counter("early").Add(1)
+	p := NewProbe(Config{Every: time.Second})
+	p.AddRegistry(reg)
+	p.SampleAt(time.Second)
+	p.SampleAt(2 * time.Second)
+
+	late := reg.Counter("late") // appears after two samples
+	late.Add(42)
+	p.SampleAt(3 * time.Second)
+
+	col := NewCollector()
+	col.Add(p)
+	e := col.Export()
+	s := findSeries(t, e, "late")
+	if !int64sEqual(s.V, []int64{0, 0, 42}) || s.Start != 0 {
+		t.Fatalf("late series = %+v, want zeros backfilled", s)
+	}
+}
+
+func TestRingWrapAdvancesStart(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := reg.Counter("wrap.me")
+	p := NewProbe(Config{Every: time.Second, Cap: 4})
+	p.AddRegistry(reg)
+	for k := 1; k <= 7; k++ {
+		c.Add(1)
+		p.SampleAt(time.Duration(k) * time.Second)
+	}
+	col := NewCollector()
+	col.Add(p)
+	s := findSeries(t, col.Export(), "wrap.me")
+	if s.Start != 3 {
+		t.Fatalf("start = %d, want 3 (7 samples, cap 4)", s.Start)
+	}
+	if !int64sEqual(s.V, []int64{4, 5, 6, 7}) {
+		t.Fatalf("retained = %v, want last 4 cumulative values", s.V)
+	}
+}
+
+func TestCollectorMergeCommutes(t *testing.T) {
+	mk := func(vals []int64, gauge []int64) *Probe {
+		reg := stats.NewRegistry()
+		c := reg.Counter("m.count")
+		g := reg.Gauge("m.peak")
+		p := NewProbe(Config{Every: time.Second})
+		p.AddRegistry(reg)
+		for i := range vals {
+			c.Add(vals[i] - c.Value())
+			g.Set(gauge[i])
+			p.SampleAt(time.Duration(i+1) * time.Second)
+		}
+		p.Annotate(90*time.Second, "storm")
+		return p
+	}
+	a := mk([]int64{1, 2, 3}, []int64{5, 2, 9})
+	b := mk([]int64{10, 20, 30}, []int64{1, 8, 4})
+
+	ab, ba := NewCollector(), NewCollector()
+	ab.Add(a)
+	ab.Add(b)
+	// Rebuild the probes: Add consumes nothing, but fresh probes prove the
+	// result depends only on their contents.
+	a2 := mk([]int64{1, 2, 3}, []int64{5, 2, 9})
+	b2 := mk([]int64{10, 20, 30}, []int64{1, 8, 4})
+	ba.Add(b2)
+	ba.Add(a2)
+
+	var bufAB, bufBA bytes.Buffer
+	if err := ab.Export().WriteJSON(&bufAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Export().WriteJSON(&bufBA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufAB.Bytes(), bufBA.Bytes()) {
+		t.Fatalf("merge order changed export:\nA,B:\n%s\nB,A:\n%s", bufAB.String(), bufBA.String())
+	}
+
+	e := ab.Export()
+	if s := findSeries(t, e, "m.count"); !int64sEqual(s.V, []int64{11, 22, 33}) {
+		t.Fatalf("summed counters = %v", s.V)
+	}
+	if s := findSeries(t, e, "m.peak"); !int64sEqual(s.V, []int64{5, 8, 9}) {
+		t.Fatalf("maxed gauges = %v", s.V)
+	}
+	if len(e.Annotations) != 1 || e.Annotations[0].Label != "storm" {
+		t.Fatalf("annotations not deduped: %+v", e.Annotations)
+	}
+	if e.Runs != 2 {
+		t.Fatalf("runs = %d", e.Runs)
+	}
+}
+
+func TestCollectorMergeUnequalLengths(t *testing.T) {
+	mk := func(n int) *Probe {
+		reg := stats.NewRegistry()
+		c := reg.Counter("n")
+		p := NewProbe(Config{Every: time.Second})
+		p.AddRegistry(reg)
+		for i := 0; i < n; i++ {
+			c.Add(1)
+			p.SampleAt(time.Duration(i+1) * time.Second)
+		}
+		return p
+	}
+	col := NewCollector()
+	col.Add(mk(2))
+	col.Add(mk(4))
+	s := findSeries(t, col.Export(), "n")
+	if !int64sEqual(s.V, []int64{2, 4, 3, 4}) {
+		t.Fatalf("merged = %v, want short run padded by absence", s.V)
+	}
+}
+
+func TestFilterRestrictsSeries(t *testing.T) {
+	reg := stats.NewRegistry()
+	reg.Counter("sim.events").Add(1)
+	reg.Counter("tcp.segs").Add(1)
+	p := NewProbe(Config{Every: time.Second, Filter: ParseFilter("sim.")})
+	p.AddRegistry(reg)
+	p.SampleAt(time.Second)
+	col := NewCollector()
+	col.Add(p)
+	e := col.Export()
+	if len(e.Series) != 1 || e.Series[0].Name != "sim.events" {
+		t.Fatalf("filtered series = %+v", e.Series)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	if ParseFilter("") != nil || ParseFilter(" , ") != nil {
+		t.Fatal("empty specs must mean no filter")
+	}
+	f := ParseFilter("sim., netem.wired")
+	for name, want := range map[string]bool{
+		"sim.events_fired":     true,
+		"netem.wired.tx_bytes": true,
+		"netem.wireless.drops": false,
+		"tcp.segs_sent":        false,
+	} {
+		if f(name) != want {
+			t.Errorf("filter(%q) = %v, want %v", name, f(name), want)
+		}
+	}
+}
+
+func TestMultiRegistryReducesAcrossShards(t *testing.T) {
+	p := NewProbe(Config{Every: time.Second})
+	var counters []*stats.Counter
+	for i := 0; i < 3; i++ {
+		reg := stats.NewRegistry()
+		counters = append(counters, reg.Counter("sim.events_fired"))
+		p.AddRegistry(reg)
+	}
+	p.SpotlightShards("sim.events_fired")
+	for i, c := range counters {
+		c.Add(int64(100 * (i + 1)))
+	}
+	p.SampleAt(time.Second)
+
+	col := NewCollector()
+	col.Add(p)
+	e := col.Export()
+	if s := findSeries(t, e, "sim.events_fired"); !int64sEqual(s.V, []int64{600}) {
+		t.Fatalf("reduced total = %v, want [600]", s.V)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("sim.events_fired.shard.%d", i)
+		if s := findSeries(t, e, name); !int64sEqual(s.V, []int64{int64(100 * (i + 1))}) {
+			t.Fatalf("%s = %v", name, s.V)
+		}
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	reg := stats.NewRegistry()
+	reg.Counter("x").Add(5)
+	p := NewProbe(Config{Every: 250 * time.Millisecond})
+	p.AddRegistry(reg)
+	p.SampleAt(250 * time.Millisecond)
+	p.Annotate(90*time.Second, "handoff storm (count=5)")
+	col := NewCollector()
+	col.Add(p)
+
+	var buf bytes.Buffer
+	if err := col.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Schema != SchemaVersion || e.EveryNS != int64(250*time.Millisecond) {
+		t.Fatalf("round trip lost header: %+v", e)
+	}
+	if len(e.Annotations) != 1 || e.Annotations[0].AtNS != int64(90*time.Second) {
+		t.Fatalf("annotations = %+v", e.Annotations)
+	}
+}
+
+func TestReadExportRejectsBadSchema(t *testing.T) {
+	if _, err := ReadExport(bytes.NewReader([]byte(`{"schema":"bogus.v9","every_ns":1}`))); err == nil {
+		t.Fatal("want schema error")
+	}
+	if _, err := ReadExport(bytes.NewReader([]byte(`{"schema":"wp2p.timeseries.v1","every_ns":0}`))); err == nil {
+		t.Fatal("want every_ns error")
+	}
+}
+
+func TestSampleSteadyStateAllocs(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := reg.Counter("alloc.free")
+	g := reg.Gauge("alloc.g")
+	h := reg.Histogram("alloc.h", []int64{10})
+	p := NewProbe(Config{Every: time.Second, Cap: 8})
+	p.AddRegistry(reg)
+	// Warm: bind instruments and fill the ring so pushes wrap in place.
+	for k := 1; k <= 10; k++ {
+		p.SampleAt(time.Duration(k) * time.Second)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+		p.SampleAt(0)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state SampleAt allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func findSeries(t *testing.T, e *Export, name string) *SeriesData {
+	t.Helper()
+	for i := range e.Series {
+		if e.Series[i].Name == name {
+			return &e.Series[i]
+		}
+	}
+	t.Fatalf("series %q missing from export (have %d series)", name, len(e.Series))
+	return nil
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

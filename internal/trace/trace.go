@@ -27,6 +27,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -39,13 +40,19 @@ import (
 // Event is one recorded observation, materialized by Events or Dump.
 type Event struct {
 	At     time.Duration
+	Shard  int    // owning shard in a sharded world; -1 when untagged
 	Source string // the watch point, e.g. "mobile/egress"
 	Kind   string // e.g. "pkt", "drop", "note"
 	Detail string
 }
 
-// String formats the event as a trace line.
+// String formats the event as a trace line. Shard-tagged events carry an
+// extra "sN" column; untagged (single-engine) recordings keep the legacy
+// layout.
 func (e Event) String() string {
+	if e.Shard >= 0 {
+		return fmt.Sprintf("%12v s%-3d %-20s %-6s %s", e.At, e.Shard, e.Source, e.Kind, e.Detail)
+	}
 	return fmt.Sprintf("%12v %-20s %-6s %s", e.At, e.Source, e.Kind, e.Detail)
 }
 
@@ -72,6 +79,7 @@ func (rec *record) detail() string {
 // usable; create recorders with NewRecorder.
 type Recorder struct {
 	engine  *sim.Engine
+	shard   int // -1 = untagged (single-engine world)
 	ring    []record
 	next    int
 	wrapped bool
@@ -88,10 +96,18 @@ func NewRecorder(engine *sim.Engine, capacity int) *Recorder {
 	}
 	return &Recorder{
 		engine:     engine,
+		shard:      -1,
 		ring:       make([]record, capacity),
 		regEmitted: engine.Stats().Counter("trace.emitted"),
 	}
 }
+
+// SetShard tags every event this recorder materializes with a shard id, so
+// per-shard rings stay attributable after MergeEvents interleaves them.
+func (r *Recorder) SetShard(i int) { r.shard = i }
+
+// Shard reports the recorder's tag (-1 when untagged).
+func (r *Recorder) Shard() int { return r.shard }
 
 // SetFilter restricts recording to events the predicate accepts; nil accepts
 // everything. Filtered-out events are not retained and not counted in
@@ -181,7 +197,7 @@ func (r *Recorder) Events() []Event {
 	}
 	out := make([]Event, len(recs))
 	for i, rec := range recs {
-		out[i] = Event{At: rec.at, Source: rec.source, Kind: rec.kind, Detail: rec.detail()}
+		out[i] = Event{At: rec.at, Shard: r.shard, Source: rec.source, Kind: rec.kind, Detail: rec.detail()}
 	}
 	return out
 }
@@ -189,6 +205,55 @@ func (r *Recorder) Events() []Event {
 // Dump writes the retained events as text lines.
 func (r *Recorder) Dump(w io.Writer) {
 	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// MergeEvents interleaves the retained events of several recorders — one per
+// shard in a sharded world — into one timeline ordered by (time, shard),
+// preserving each ring's own emission order among same-instant events. The
+// inputs are per-shard deterministic, so the merged timeline is identical at
+// any worker count.
+func MergeEvents(recs ...*Recorder) []Event {
+	switch len(recs) {
+	case 0:
+		return nil
+	case 1:
+		return recs[0].Events()
+	}
+	type tagged struct {
+		ev  Event
+		ord int // position within its own ring, the same-instant tiebreak
+	}
+	var all []tagged
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for i, ev := range r.Events() {
+			all = append(all, tagged{ev: ev, ord: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.ev.Shard != b.ev.Shard {
+			return a.ev.Shard < b.ev.Shard
+		}
+		return a.ord < b.ord
+	})
+	out := make([]Event, len(all))
+	for i := range all {
+		out[i] = all[i].ev
+	}
+	return out
+}
+
+// DumpMerged writes the merged timeline of several recorders as text lines.
+func DumpMerged(w io.Writer, recs ...*Recorder) {
+	for _, e := range MergeEvents(recs...) {
 		fmt.Fprintln(w, e)
 	}
 }

@@ -304,3 +304,67 @@ func TestWatchLinkRecordsDrops(t *testing.T) {
 		t.Error("no drop recorded on wired link")
 	}
 }
+
+func TestShardTaggingAndMergedRead(t *testing.T) {
+	mk := func(shard int, times ...time.Duration) (*sim.Engine, *Recorder) {
+		e := sim.NewEngine()
+		r := NewRecorder(e, 64)
+		r.SetShard(shard)
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() { r.Emit("src", "note", "shard %d at %v", shard, at) })
+		}
+		return e, r
+	}
+	e0, r0 := mk(0, 1*time.Millisecond, 3*time.Millisecond)
+	e1, r1 := mk(1, 1*time.Millisecond, 2*time.Millisecond)
+	e0.Run()
+	e1.Run()
+
+	evs := MergeEvents(r0, r1)
+	if len(evs) != 4 {
+		t.Fatalf("merged %d events, want 4", len(evs))
+	}
+	wantOrder := []struct {
+		at    time.Duration
+		shard int
+	}{
+		{1 * time.Millisecond, 0}, // same instant: shard 0 before shard 1
+		{1 * time.Millisecond, 1},
+		{2 * time.Millisecond, 1},
+		{3 * time.Millisecond, 0},
+	}
+	for i, w := range wantOrder {
+		if evs[i].At != w.at || evs[i].Shard != w.shard {
+			t.Fatalf("event %d = (%v, s%d), want (%v, s%d)", i, evs[i].At, evs[i].Shard, w.at, w.shard)
+		}
+	}
+	if s := evs[0].String(); !strings.Contains(s, "s0") {
+		t.Fatalf("tagged event string missing shard column: %q", s)
+	}
+}
+
+func TestUntaggedEventStringKeepsLegacyLayout(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 8)
+	r.Emit("src", "note", "hello")
+	ev := r.Events()[0]
+	if ev.Shard != -1 {
+		t.Fatalf("untagged recorder produced shard %d", ev.Shard)
+	}
+	if s := ev.String(); strings.Contains(s, "s-1") {
+		t.Fatalf("untagged string leaked shard column: %q", s)
+	}
+}
+
+func TestDumpMerged(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRecorder(e, 8)
+	r.SetShard(2)
+	r.Emit("src", "note", "solo")
+	var b strings.Builder
+	DumpMerged(&b, r, nil)
+	if !strings.Contains(b.String(), "s2") || !strings.Contains(b.String(), "solo") {
+		t.Fatalf("merged dump = %q", b.String())
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/wp2p/wp2p/internal/bench"
@@ -37,6 +38,62 @@ func pick(f *bench.File, label string, last bool, path string) (*bench.Entry, er
 		return f.Last(), nil
 	}
 	return &f.Entries[0], nil
+}
+
+// limits are the regression tolerances compare gates on.
+type limits struct {
+	// maxWallPct is the largest tolerated wall-time increase, in percent.
+	maxWallPct float64
+	// minEventsPct is the largest tolerated events/sec drop, in percent; the
+	// gate is skipped for a workload when either entry lacks the rate.
+	minEventsPct float64
+}
+
+// compare prints the per-workload diff table to w and reports whether any
+// shared workload regressed past the limits, plus how many workloads the
+// entries share. Entries with no shared workloads compare vacuously clean —
+// callers must treat shared == 0 as an error.
+func compare(base, new *bench.Entry, lim limits, w io.Writer) (failed bool, shared int) {
+	fmt.Fprintf(w, "comparing %q -> %q\n", base.Label, new.Label)
+	fmt.Fprintf(w, "%-16s %15s %15s %8s   %13s %13s %10s\n",
+		"workload", "wall(base)", "wall(new)", "Δwall", "allocs(base)", "allocs(new)", "Δev/s")
+	for _, nw := range new.Workloads {
+		bw := base.Workload(nw.Name)
+		if bw == nil {
+			fmt.Fprintf(w, "%-16s (new workload, no baseline)\n", nw.Name)
+			continue
+		}
+		shared++
+		wallPct := 0.0
+		if bw.WallNsPerOp > 0 {
+			wallPct = 100 * float64(nw.WallNsPerOp-bw.WallNsPerOp) / float64(bw.WallNsPerOp)
+		}
+		verdicts := ""
+		if wallPct > lim.maxWallPct {
+			verdicts += fmt.Sprintf("  WALL REGRESSION (>%g%%)", lim.maxWallPct)
+			failed = true
+		}
+		if nw.AllocsPerOp > bw.AllocsPerOp {
+			verdicts += "  ALLOCS REGRESSION"
+			failed = true
+		}
+		// Events/sec is the engine-throughput floor: a drop means each sim
+		// event got more expensive even if the workload shrank. Entries
+		// recorded before the rate existed carry zero — skip those.
+		evCol := fmt.Sprintf("%10s", "-")
+		if bw.EventsPerSec > 0 && nw.EventsPerSec > 0 {
+			evPct := 100 * (nw.EventsPerSec - bw.EventsPerSec) / bw.EventsPerSec
+			evCol = fmt.Sprintf("%+9.1f%%", evPct)
+			if evPct < -lim.minEventsPct {
+				verdicts += fmt.Sprintf("  EVENTS/SEC REGRESSION (>%g%% drop)", lim.minEventsPct)
+				failed = true
+			}
+		}
+		fmt.Fprintf(w, "%-16s %13dns %13dns %+7.1f%%   %13d %13d %s%s\n",
+			nw.Name, bw.WallNsPerOp, nw.WallNsPerOp, wallPct,
+			bw.AllocsPerOp, nw.AllocsPerOp, evCol, verdicts)
+	}
+	return failed, shared
 }
 
 func main() {
@@ -92,47 +149,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("comparing %q -> %q\n", baseEntry.Label, newEntry.Label)
-	fmt.Printf("%-16s %15s %15s %8s   %13s %13s %10s\n",
-		"workload", "wall(base)", "wall(new)", "Δwall", "allocs(base)", "allocs(new)", "Δev/s")
-	failed := false
-	shared := 0
-	for _, nw := range newEntry.Workloads {
-		bw := baseEntry.Workload(nw.Name)
-		if bw == nil {
-			fmt.Printf("%-16s (new workload, no baseline)\n", nw.Name)
-			continue
-		}
-		shared++
-		wallPct := 0.0
-		if bw.WallNsPerOp > 0 {
-			wallPct = 100 * float64(nw.WallNsPerOp-bw.WallNsPerOp) / float64(bw.WallNsPerOp)
-		}
-		verdicts := ""
-		if wallPct > *maxWallPct {
-			verdicts += fmt.Sprintf("  WALL REGRESSION (>%g%%)", *maxWallPct)
-			failed = true
-		}
-		if nw.AllocsPerOp > bw.AllocsPerOp {
-			verdicts += "  ALLOCS REGRESSION"
-			failed = true
-		}
-		// Events/sec is the engine-throughput floor: a drop means each sim
-		// event got more expensive even if the workload shrank. Entries
-		// recorded before the rate existed carry zero — skip those.
-		evCol := fmt.Sprintf("%10s", "-")
-		if bw.EventsPerSec > 0 && nw.EventsPerSec > 0 {
-			evPct := 100 * (nw.EventsPerSec - bw.EventsPerSec) / bw.EventsPerSec
-			evCol = fmt.Sprintf("%+9.1f%%", evPct)
-			if evPct < -*minEventsPct {
-				verdicts += fmt.Sprintf("  EVENTS/SEC REGRESSION (>%g%% drop)", *minEventsPct)
-				failed = true
-			}
-		}
-		fmt.Printf("%-16s %13dns %13dns %+7.1f%%   %13d %13d %s%s\n",
-			nw.Name, bw.WallNsPerOp, nw.WallNsPerOp, wallPct,
-			bw.AllocsPerOp, nw.AllocsPerOp, evCol, verdicts)
-	}
+	failed, shared := compare(baseEntry, newEntry,
+		limits{maxWallPct: *maxWallPct, minEventsPct: *minEventsPct}, os.Stdout)
 	if shared == 0 {
 		fmt.Fprintln(os.Stderr, "bench-compare: no shared workloads between entries")
 		os.Exit(1)

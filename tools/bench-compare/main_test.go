@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wp2p/wp2p/internal/bench"
+)
+
+// entry builds a one-workload entry with the given wall, alloc, and
+// events/sec numbers.
+func entry(label string, wall, allocs int64, evps float64) *bench.Entry {
+	return &bench.Entry{Label: label, Scale: 0.05, Workloads: []bench.Workload{{
+		Name: "fig4a", WallNsPerOp: wall, AllocsPerOp: allocs, EventsPerSec: evps,
+	}}}
+}
+
+func runCompare(t *testing.T, base, new *bench.Entry, lim limits) (failed bool, shared int, out string) {
+	t.Helper()
+	var b strings.Builder
+	failed, shared = compare(base, new, lim, &b)
+	return failed, shared, b.String()
+}
+
+func TestEventsDropAtFloorPasses(t *testing.T) {
+	// A drop of exactly -min-events-pct is tolerated: the gate is strict.
+	base := entry("base", 1000, 10, 1000)
+	cand := entry("new", 1000, 10, 900)
+	failed, shared, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if failed {
+		t.Fatalf("10%% drop at a 10%% floor should pass\n%s", out)
+	}
+	if shared != 1 {
+		t.Fatalf("shared = %d, want 1", shared)
+	}
+	if !strings.Contains(out, "-10.0%") {
+		t.Fatalf("Δev/s column should show -10.0%%:\n%s", out)
+	}
+}
+
+func TestEventsDropPastFloorFails(t *testing.T) {
+	base := entry("base", 1000, 10, 1000)
+	cand := entry("new", 1000, 10, 899)
+	failed, _, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if !failed {
+		t.Fatalf("10.1%% drop at a 10%% floor should fail\n%s", out)
+	}
+	if !strings.Contains(out, "EVENTS/SEC REGRESSION") {
+		t.Fatalf("verdict should name the events/sec regression:\n%s", out)
+	}
+}
+
+func TestEventsGateSkippedWhenRateMissing(t *testing.T) {
+	// Entries recorded before the rate existed carry zero; even a total
+	// collapse must not trip the gate, and the column shows a dash.
+	for _, tc := range []struct {
+		name           string
+		baseEv, candEv float64
+	}{
+		{"base missing", 0, 5},
+		{"cand missing", 1000, 0},
+		{"both missing", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := entry("base", 1000, 10, tc.baseEv)
+			cand := entry("new", 1000, 10, tc.candEv)
+			failed, _, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+			if failed {
+				t.Fatalf("missing rate must skip the events gate\n%s", out)
+			}
+			if !strings.Contains(out, " - ") && !strings.HasSuffix(strings.TrimRight(out, "\n"), "-") {
+				t.Fatalf("Δev/s column should show a dash:\n%s", out)
+			}
+			if strings.Contains(out, "EVENTS/SEC") {
+				t.Fatalf("no events verdict expected:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestEventsImprovementShowsSignedColumn(t *testing.T) {
+	base := entry("base", 1000, 10, 1000)
+	cand := entry("new", 1000, 10, 1250)
+	failed, _, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if failed {
+		t.Fatalf("improvement should pass\n%s", out)
+	}
+	if !strings.Contains(out, "+25.0%") {
+		t.Fatalf("Δev/s column should show +25.0%%:\n%s", out)
+	}
+}
+
+func TestWallRegressionAtLimitPasses(t *testing.T) {
+	base := entry("base", 1000, 10, 0)
+	cand := entry("new", 1100, 10, 0) // exactly +10%
+	failed, _, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if failed {
+		t.Fatalf("+10%% wall at a 10%% limit should pass\n%s", out)
+	}
+	cand = entry("new", 1101, 10, 0)
+	failed, _, out = runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if !failed || !strings.Contains(out, "WALL REGRESSION") {
+		t.Fatalf("+10.1%% wall should fail with a wall verdict\n%s", out)
+	}
+}
+
+func TestAnyAllocIncreaseFails(t *testing.T) {
+	base := entry("base", 1000, 10, 0)
+	cand := entry("new", 1000, 11, 0)
+	failed, _, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if !failed || !strings.Contains(out, "ALLOCS REGRESSION") {
+		t.Fatalf("any allocs/op increase should fail\n%s", out)
+	}
+}
+
+func TestNoSharedWorkloads(t *testing.T) {
+	base := entry("base", 1000, 10, 1000)
+	cand := &bench.Entry{Label: "new", Scale: 0.05, Workloads: []bench.Workload{{
+		Name: "flashcrowd", WallNsPerOp: 1, AllocsPerOp: 1,
+	}}}
+	failed, shared, out := runCompare(t, base, cand, limits{maxWallPct: 10, minEventsPct: 10})
+	if failed {
+		t.Fatalf("disjoint workloads compare vacuously clean\n%s", out)
+	}
+	if shared != 0 {
+		t.Fatalf("shared = %d, want 0", shared)
+	}
+	if !strings.Contains(out, "no baseline") {
+		t.Fatalf("unmatched workload should be reported:\n%s", out)
+	}
+}
