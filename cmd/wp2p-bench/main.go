@@ -17,6 +17,12 @@
 //	flashcrowd-large 10k-peer flash crowd, peer count pinned regardless of
 //	                 -scale — the sharded engine's scaling workload (not in
 //	                 the default set; takes minutes per op)
+//	flashcrowd-large-hybrid
+//	                 the same crowd with its wired groups on the fluid flow
+//	                 model plus a mobile WLAN fringe (not in the default set)
+//	flashcrowd-large-hybrid-packet
+//	                 the hybrid spec forced fully packet-level — the baseline
+//	                 for the flow model's events/op reduction
 //
 // -shards runs the shard-capable workloads (fig4a and the scenarios) on the
 // sharded engine with that many workers and stamps the count on the entry;
@@ -50,15 +56,18 @@ type workload struct {
 	run  func(scale float64) (*experiments.Result, error)
 }
 
-func workloads(flashCrowdPath, flashCrowdLargePath string, shards int) []workload {
-	runScenario := func(path string) func(scale float64) (*experiments.Result, error) {
+func workloads(flashCrowdPath, flashCrowdLargePath, flashCrowdHybridPath string, shards int) []workload {
+	runScenarioF := func(path, fidelity string) func(scale float64) (*experiments.Result, error) {
 		return func(scale float64) (*experiments.Result, error) {
 			spec, err := scenario.LoadFile(path)
 			if err != nil {
 				return nil, err
 			}
-			return scenario.RunOpts(spec, scale, scenario.Options{ShardWorkers: shards})
+			return scenario.RunOpts(spec, scale, scenario.Options{ShardWorkers: shards, Fidelity: fidelity})
 		}
+	}
+	runScenario := func(path string) func(scale float64) (*experiments.Result, error) {
+		return runScenarioF(path, "")
 	}
 	return []workload{
 		{name: "fig2a", run: func(scale float64) (*experiments.Result, error) {
@@ -75,6 +84,11 @@ func workloads(flashCrowdPath, flashCrowdLargePath string, shards int) []workloa
 		}},
 		{name: "flashcrowd", run: runScenario(flashCrowdPath)},
 		{name: "flashcrowd-large", run: runScenario(flashCrowdLargePath)},
+		// The hybrid pair measures the flow model's event economy: the same
+		// spec run as written (wired groups fluid) and forced fully
+		// packet-level, so the events/op ratio is the fluid win in isolation.
+		{name: "flashcrowd-large-hybrid", run: runScenario(flashCrowdHybridPath)},
+		{name: "flashcrowd-large-hybrid-packet", run: runScenarioF(flashCrowdHybridPath, scenario.FidelityPacket)},
 	}
 }
 
@@ -99,6 +113,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard each world across this many engine workers (0 = single engine); results are identical at any value")
 	flashCrowd := flag.String("flash-crowd", "examples/scenarios/flash-crowd.json", "flash-crowd scenario spec path")
 	flashCrowdLarge := flag.String("flash-crowd-large", "examples/scenarios/flash-crowd-large.json", "flash-crowd-large scenario spec path")
+	flashCrowdHybrid := flag.String("flash-crowd-large-hybrid", "examples/scenarios/flash-crowd-large-hybrid.json", "flash-crowd-large-hybrid scenario spec path")
 	benchtime := flag.Int("benchtime", 0, "fixed iteration count (0 = auto, ~1s per workload)")
 	checkOn := flag.Bool("check", false, "run workloads with invariant sweeps armed (measures the checker's own overhead)")
 	tsFile := flag.String("timeseries", "", "sample metric series during the workloads and write wp2p.timeseries.v1 JSON to this file (measures the sampler's own overhead)")
@@ -146,7 +161,7 @@ func main() {
 		Label: *label, GoVersion: runtime.Version(), Scale: *scale,
 		Shards: *shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	for _, w := range workloads(*flashCrowd, *flashCrowdLarge, *shards) {
+	for _, w := range workloads(*flashCrowd, *flashCrowdLarge, *flashCrowdHybrid, *shards) {
 		if !want[w.name] {
 			continue
 		}

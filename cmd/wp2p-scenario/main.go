@@ -6,7 +6,8 @@
 // Usage:
 //
 //	wp2p-scenario [-validate] [-scale f] [-parallel n] [-seed n] [-runs n]
-//	              [-sweep path=v1,v2,...] [-stats] [-json dir] file.json ...
+//	              [-sweep path=v1,v2,...] [-stats] [-json dir]
+//	              [-cpuprofile f] [-memprofile f] file.json ...
 //
 // Each file runs to a figure printed as a text table. -validate only loads
 // and checks the files, reporting errors by JSON path. -sweep fans the
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,6 +43,7 @@ func run() int {
 	scale := flag.Float64("scale", 1.0, "scenario scale: 1.0 = spec-faithful sizes, smaller = faster")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
 	shards := flag.Int("shards", 0, "shard each world across this many engine workers (bt workloads only; 0 = single engine); results are identical at any value")
+	fidelity := flag.String("fidelity", "", "override every group's transport model: \"packet\" or \"flow\" (flow upgrades only wired, immobile groups; empty honors the spec's per-group fidelity fields)")
 	seed := flag.Int64("seed", 0, "override the spec's base seed (0 = use the spec's)")
 	runs := flag.Int("runs", 0, "override the spec's averaged runs per grid cell (0 = use the spec's)")
 	sweep := flag.String("sweep", "", "sweep an override path from the CLI: path=v1,v2,... (replaces the file's sweep)")
@@ -52,6 +55,8 @@ func run() int {
 	tsFile := flag.String("timeseries", "", "sample metric series over sim time and write wp2p.timeseries.v1 JSON to this file")
 	sampleEvery := flag.Duration("sample-every", 0, "sim-time interval between telemetry samples (0 = 5s; needs -timeseries)")
 	barrierProf := flag.Bool("barrierprofile", false, "print the sharded-engine barrier profile table after the runs (needs -shards ≥ 1)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wp2p-scenario [-validate] [-scale f] [-parallel n] [-sweep path=v1,v2] [-stats] [-json dir] [-check] [-digest file] file.json ...\n")
 		flag.PrintDefaults()
@@ -101,6 +106,19 @@ func run() int {
 		return exit
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if *checkOn {
 		experiments.EnableChecking(0)
 	}
@@ -124,7 +142,7 @@ func run() int {
 	runner.Stream(*parallel, len(specs),
 		func(i int) outcome {
 			start := time.Now()
-			res, err := scenario.RunOpts(specs[i], *scale, scenario.Options{ShardWorkers: *shards})
+			res, err := scenario.RunOpts(specs[i], *scale, scenario.Options{ShardWorkers: *shards, Fidelity: *fidelity})
 			return outcome{res: res, err: err, dur: time.Since(start)}
 		},
 		func(i int, o outcome) {
@@ -169,6 +187,19 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
 			exit = 1
 		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wp2p-scenario: %v\n", err)
+			return 1
+		}
+		f.Close()
 	}
 	return exit
 }

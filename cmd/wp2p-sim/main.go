@@ -54,6 +54,7 @@ func run() int {
 	scale := flag.Float64("scale", 1.0, "experiment scale: 1.0 = paper-faithful sizes, smaller = faster")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
 	shards := flag.Int("shards", 0, "shard each world across this many engine workers (shard-capable experiments only; 0 = single engine); results are identical at any value")
+	fidelity := flag.String("fidelity", "", "wired-core transport model for fidelity-capable experiments (fig2a, fig4a): \"packet\" (default) or \"flow\" (fluid flows; wireless/mobile peers stay packet-level)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stats := flag.Bool("stats", false, "print each experiment's cross-layer stats summary")
 	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
@@ -113,7 +114,12 @@ func run() int {
 
 	runner.SetWorkers(*parallel)
 
-	reg := experiments.RegistryOpts(*scale, experiments.RegistryOptions{Shards: *shards})
+	if *fidelity != "" && *fidelity != experiments.FidelityPacket && *fidelity != experiments.FidelityFlow {
+		fmt.Fprintf(os.Stderr, "wp2p-sim: unknown -fidelity %q (want %q or %q)\n",
+			*fidelity, experiments.FidelityPacket, experiments.FidelityFlow)
+		return 1
+	}
+	reg := experiments.RegistryOpts(*scale, experiments.RegistryOptions{Shards: *shards, Fidelity: *fidelity})
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.IDs()

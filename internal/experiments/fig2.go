@@ -19,6 +19,10 @@ type Fig2aConfig struct {
 	Runs     int           // averaged runs per point (paper: 5)
 	Rate     netem.Rate    // wireless channel bandwidth (default 100 KB/s)
 	Seed     int64
+	// Fidelity selects the wired peer's transport model: FidelityPacket
+	// (default) or FidelityFlow. The mobile peer is always packet-level —
+	// every phenomenon this figure measures lives on the wireless leg.
+	Fidelity string
 }
 
 func (c Fig2aConfig) withDefaults() Fig2aConfig {
@@ -61,7 +65,12 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 	measure := func(bidirectional bool, ber float64, run int) float64 {
 		w := NewWorld(cfg.Seed+int64(run)*100+1, 0)
 		defer w.Finish(col)
-		fixed := w.WiredHost(0, 0)
+		var fixed *Host
+		if cfg.Fidelity == FidelityFlow {
+			fixed = w.FluidHost(netem.AccessLinkConfig{})
+		} else {
+			fixed = w.WiredHost(0, 0)
+		}
 		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, BER: ber})
 		var server *tcp.Conn
 		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })

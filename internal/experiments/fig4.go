@@ -19,6 +19,10 @@ type Fig4aConfig struct {
 	Horizon time.Duration
 	Seed    int64
 	Shards  int // worker threads for the sharded engine; 0 = single-engine
+	// Fidelity selects the transport model for hosts that never move:
+	// FidelityPacket (default) or FidelityFlow. Seeds that will hand off
+	// stay packet-level regardless — mobility requires packet fidelity.
+	Fidelity string
 }
 
 func (c Fig4aConfig) withDefaults() Fig4aConfig {
@@ -63,11 +67,17 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 		// the sweep measures sustained throughput.
 		tor := bt.NewMetaInfo("fig4a", scaled(1024*1024*1024, cfg.Scale, 64*1024*1024), 256*1024)
 		for i := 0; i < cfg.Seeds; i++ {
-			host := w.WiredHost(300*netem.KBps, 0)
+			mobile := i < mobileSeeds && period > 0
+			var host *Host
+			if cfg.Fidelity == FidelityFlow && !mobile {
+				host = w.FluidHost(netem.AccessLinkConfig{UpRate: 300 * netem.KBps})
+			} else {
+				host = w.WiredHost(300*netem.KBps, 0)
+			}
 			bt.NewClient(bt.Config{
 				Stack: host.Stack, Torrent: tor, Tracker: w.Announcer(host), Seed: true,
 			}).Start()
-			if i < mobileSeeds && period > 0 {
+			if mobile {
 				// Oblivious mobile seed: the client never notices the
 				// address change; the swarm relearns it via announces.
 				h := mobility.NewHandoff(host.Engine, host.Net, host.Iface,
@@ -75,7 +85,12 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 				h.Start()
 			}
 		}
-		fixedHost := w.WiredHost(0, 0)
+		var fixedHost *Host
+		if cfg.Fidelity == FidelityFlow {
+			fixedHost = w.FluidHost(netem.AccessLinkConfig{})
+		} else {
+			fixedHost = w.WiredHost(0, 0)
+		}
 		fixed := bt.NewClient(bt.Config{
 			Stack: fixedHost.Stack, Torrent: tor, Tracker: w.Announcer(fixedHost),
 		})

@@ -9,6 +9,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/check"
+	"github.com/wp2p/wp2p/internal/flow"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
@@ -56,6 +57,7 @@ type World struct {
 	dir      *netem.Directory
 	perm     []int
 	nextHost int
+	fabrics  []*flow.Fabric // lazy per-shard fluid fabrics (FluidHost)
 
 	seed   int64
 	nextIP netem.IP
@@ -337,12 +339,21 @@ func (w *World) NextIP() netem.IP {
 type Host struct {
 	Stack  *tcp.Stack
 	Iface  *netem.Iface
-	Link   *netem.AccessLink      // non-nil for wired hosts
+	Link   *netem.AccessLink      // non-nil for packet-level wired hosts
+	Flow   *flow.Link             // non-nil for fluid (flow-fidelity) wired hosts
 	WLAN   *netem.WirelessChannel // non-nil for wireless hosts
 	Engine *sim.Engine
 	Net    *netem.Network
 	Shard  int
 }
+
+// Fidelity values select how a wired host's bulk transfers are modelled:
+// per-packet serialization through an AccessLink, or the flow-level fluid
+// model (internal/flow). Wireless and mobile hosts are always packet-level.
+const (
+	FidelityPacket = "packet"
+	FidelityFlow   = "flow"
+)
 
 // WiredHost attaches a host behind a full-duplex access link. Zero rates
 // default to 1 MB/s each way.
@@ -373,6 +384,63 @@ func (w *World) WiredHostLink(cfg netem.AccessLinkConfig) *Host {
 		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
 		Iface:  iface,
 		Link:   link,
+		Engine: eng,
+		Net:    net,
+		Shard:  shard,
+	}
+}
+
+// flowFabric returns the shard's fluid fabric, building it on first use.
+// End-to-end delivery (one event per wired→wired packet) is enabled only on
+// the single-engine path: sharded worlds keep the split-leg boundary form so
+// cross-shard packets ride the fabric's migration queues unchanged, which is
+// what keeps digests worker-count-invariant.
+func (w *World) flowFabric(shard int, eng *sim.Engine, net *netem.Network) *flow.Fabric {
+	if w.fabrics == nil {
+		n := 1
+		if len(w.Shards) > 0 {
+			n = len(w.Shards)
+		}
+		w.fabrics = make([]*flow.Fabric, n)
+	}
+	f := w.fabrics[shard]
+	if f == nil {
+		f = flow.NewFabric(eng, net, flow.Config{EndToEnd: w.Sharded == nil})
+		if rec := w.recFor(shard); rec != nil {
+			trace.WatchFlow(rec, "flow", f)
+		}
+		w.fabrics[shard] = f
+	}
+	return f
+}
+
+// FluidHost attaches a host behind a flow-level (fluid) access link: the
+// wired analogue of WiredHostLink at "flow" fidelity. Zero rates default to
+// 1 MB/s each way and a zero delay to 1 ms, matching WiredHost, so packet
+// and fluid variants of an experiment differ only in fidelity. Fluid hosts
+// must stay at their address for the life of the world (no mobility).
+func (w *World) FluidHost(cfg netem.AccessLinkConfig) *Host {
+	if cfg.UpRate == 0 {
+		cfg.UpRate = 1 * netem.MBps
+	}
+	if cfg.DownRate == 0 {
+		cfg.DownRate = 1 * netem.MBps
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = time.Millisecond
+	}
+	shard, eng, net := w.place()
+	fab := w.flowFabric(shard, eng, net)
+	ip := w.NextIP()
+	link := fab.NewLink(ip, cfg)
+	iface := net.Attach(ip, link, nil)
+	if rec := w.recFor(shard); rec != nil {
+		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
+	}
+	return &Host{
+		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
+		Iface:  iface,
+		Flow:   link,
 		Engine: eng,
 		Net:    net,
 		Shard:  shard,

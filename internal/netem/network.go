@@ -185,6 +185,27 @@ func (n *Network) delayFor(src, dst IP) time.Duration {
 // Engine returns the simulation engine the network runs on.
 func (n *Network) Engine() *sim.Engine { return n.engine }
 
+// PathDelay returns the core one-way delay for one src→dst crossing,
+// consuming a jitter draw when jitter is configured — the same computation a
+// cloud hop uses. Exported for the flow fabric, which folds the cloud
+// crossing into a fluid stream's single delivery event.
+func (n *Network) PathDelay(src, dst IP) time.Duration { return n.delayFor(src, dst) }
+
+// Lookup resolves a destination address to its attached interface (nil when
+// unbound), through the route cache. Exported for the flow fabric's direct
+// end-to-end deliveries.
+func (n *Network) Lookup(ip IP) *Iface { return n.lookup(ip) }
+
+// AccountDrop records a blackholed packet on this network's drop counters
+// and observers, for media (the flow fabric) that perform the cloud's
+// terminal checks themselves. The caller still owns — and must release —
+// the packet.
+func (n *Network) AccountDrop(pkt *Packet, reason DropReason) { n.drop(pkt, reason) }
+
+// CountRouted increments the routed-packet counter, keeping
+// netem.packets_routed meaningful for deliveries that bypass the cloud hop.
+func (n *Network) CountRouted() { n.regRouted.Inc() }
+
 // NewPacket draws a zeroed packet from the network's free-list. See
 // PacketPool for the ownership contract.
 func (n *Network) NewPacket() *Packet { return n.pool.Get() }

@@ -25,6 +25,11 @@ type compiled struct {
 	spec *Spec
 	w    *experiments.World
 
+	// fidelity is the CLI-level override: "" honors each group's own
+	// fidelity field, FidelityPacket forces packet everywhere, FidelityFlow
+	// upgrades every eligible group (wired, immobile) to the fluid model.
+	fidelity string
+
 	// horizon is the scaled measurement window; tscale (horizon ÷ spec
 	// duration) stretches every event time to match.
 	horizon time.Duration
@@ -69,7 +74,7 @@ type instance struct {
 // compile builds the world for one run of the spec. The spec must have
 // passed validation; structural impossibilities here are bugs, not user
 // errors, and panic like the layers below.
-func compile(s *Spec, scale float64, seed int64, sc experiments.ShardConfig) *compiled {
+func compile(s *Spec, scale float64, seed int64, sc experiments.ShardConfig, fidelity string) *compiled {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -82,11 +87,12 @@ func compile(s *Spec, scale float64, seed int64, sc experiments.ShardConfig) *co
 		netCfg.CloudDelay = DefaultCloudDelay
 	}
 	c := &compiled{
-		spec:    s,
-		w:       experiments.NewWorldSharded(seed, s.AnnounceInterval.D(), netCfg, sc),
-		horizon: horizon,
-		tscale:  float64(horizon) / float64(s.Duration.D()),
-		groups:  make(map[string][]*instance),
+		spec:     s,
+		w:        experiments.NewWorldSharded(seed, s.AnnounceInterval.D(), netCfg, sc),
+		fidelity: fidelity,
+		horizon:  horizon,
+		tscale:   float64(horizon) / float64(s.Duration.D()),
+		groups:   make(map[string][]*instance),
 	}
 	c.buildContent(scale)
 	needH := s.eventDrivenHandoffGroups()
@@ -102,6 +108,25 @@ func compile(s *Spec, scale float64, seed int64, sc experiments.ShardConfig) *co
 	c.armCompletionWatch()
 	c.armEvents()
 	return c
+}
+
+// fidelityFor resolves a group's effective transport model: the CLI
+// override when set (FidelityFlow only upgrades groups the validator would
+// accept it on — wired and immobile), else the group's own field.
+func (c *compiled) fidelityFor(g *PeerGroup) string {
+	switch c.fidelity {
+	case FidelityPacket:
+		return FidelityPacket
+	case FidelityFlow:
+		if g.Link.Kind == "wired" && g.Mobility == nil {
+			return FidelityFlow
+		}
+		return FidelityPacket
+	}
+	if g.Fidelity == "" {
+		return FidelityPacket
+	}
+	return g.Fidelity
 }
 
 // count returns a group's instance count with its default.
@@ -150,9 +175,15 @@ func (c *compiled) buildInstance(g *PeerGroup, i int, eventDriven bool) {
 	inst := &instance{group: g, index: i, completedAt: -1}
 	switch g.Link.Kind {
 	case "wired":
-		if g.Link.QueueCap == 0 && g.Link.Delay == 0 {
+		switch {
+		case c.fidelityFor(g) == FidelityFlow:
+			inst.host = c.w.FluidHost(netem.AccessLinkConfig{
+				UpRate: g.Link.Up.R(), DownRate: g.Link.Down.R(),
+				Delay: g.Link.Delay.D(), QueueCap: g.Link.QueueCap,
+			})
+		case g.Link.QueueCap == 0 && g.Link.Delay == 0:
 			inst.host = c.w.WiredHost(g.Link.Up.R(), g.Link.Down.R())
-		} else {
+		default:
 			inst.host = c.wiredHostCustom(g.Link)
 		}
 	case "wireless":

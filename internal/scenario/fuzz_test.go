@@ -1,8 +1,8 @@
 package scenario
 
 import (
-	"path/filepath"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -20,6 +20,8 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte(`{"schema":"wp2p.scenario.v1","name":"x","duration":"1m"}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"peers":[{"link":{"kind":"wireless","ber":1e308}}]}`))
+	f.Add([]byte(`{"peers":[{"name":"a","link":{"kind":"wired"},"fidelity":"flow"}]}`))
+	f.Add([]byte(`{"peers":[{"name":"a","link":{"kind":"wireless"},"fidelity":"flow"},{"name":"b","link":{"kind":"wired"},"fidelity":"quantum"}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Load(data)

@@ -168,6 +168,19 @@ func (s *Spec) validateGroup(e *errs, path string, g *PeerGroup, seen map[string
 		e.add(lp+".queue", "must be ≥ 0, got %d", g.Link.QueueCap)
 	}
 
+	switch g.Fidelity {
+	case "", FidelityPacket:
+	case FidelityFlow:
+		if g.Link.Kind == "wireless" {
+			e.add(path+".fidelity", "%q requires a wired link; group %q is wireless (the WLAN leg is always packet-level)", FidelityFlow, g.Name)
+		}
+		if g.Mobility != nil {
+			e.add(path+".fidelity", "%q is incompatible with a mobility block: handoffs rebind addresses, which the flow fabric cannot follow", FidelityFlow)
+		}
+	default:
+		e.add(path+".fidelity", "unknown fidelity %q (want %q or %q)", g.Fidelity, FidelityPacket, FidelityFlow)
+	}
+
 	if g.InitialHave < 0 || g.InitialHave > 1 {
 		e.add(path+".initial_have", "must be within [0, 1], got %g", g.InitialHave)
 	}

@@ -80,6 +80,19 @@ func TestLoadErrorsNamePath(t *testing.T) {
 			l["kind"] = "wireless"
 			l["up"] = "1MBps"
 		}, "peers[0].link.up:"},
+		{"unknown fidelity", func(m map[string]any) {
+			m["peers"].([]any)[1].(map[string]any)["fidelity"] = "quantum"
+		}, "peers[1].fidelity:"},
+		{"flow fidelity on wireless link", func(m map[string]any) {
+			p := m["peers"].([]any)[1].(map[string]any)
+			p["link"] = map[string]any{"kind": "wireless"}
+			p["fidelity"] = "flow"
+		}, "peers[1].fidelity:"},
+		{"flow fidelity on mobile group", func(m map[string]any) {
+			p := m["peers"].([]any)[1].(map[string]any)
+			p["fidelity"] = "flow"
+			p["mobility"] = map[string]any{"period": "1m", "ip_base": 1000}
+		}, "peers[1].fidelity:"},
 		{"mobility without ip_base", func(m map[string]any) {
 			m["peers"].([]any)[1].(map[string]any)["mobility"] = map[string]any{"period": "1m"}
 		}, "peers[1].mobility.ip_base:"},

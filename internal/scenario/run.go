@@ -18,6 +18,13 @@ type Options struct {
 	// worker threads (the CLI -shards value); 0 keeps the single-engine
 	// path. Results and digests are identical at any positive value.
 	ShardWorkers int
+	// Fidelity overrides every group's transport model (the CLI -fidelity
+	// value): "" honors the per-group fidelity fields, FidelityPacket
+	// forces packet-level everywhere, FidelityFlow upgrades every eligible
+	// group (wired link, no mobility) to the fluid flow model. Unlike
+	// ShardWorkers this changes the trajectory — flow mode is an
+	// approximation — but not the protocol logic.
+	Fidelity string
 }
 
 // Run executes the scenario's full grid — every series variant at every
@@ -39,6 +46,12 @@ func RunOpts(s *Spec, scale float64, opts Options) (*experiments.Result, error) 
 			return nil, fmt.Errorf("scenario: -shards supports only the bt protocol (got %q)", s.Workload.Protocol)
 		}
 		sc.Logical = s.Shards
+	}
+	switch opts.Fidelity {
+	case "", FidelityPacket, FidelityFlow:
+	default:
+		return nil, fmt.Errorf("scenario: unknown fidelity %q (want %q or %q)",
+			opts.Fidelity, FidelityPacket, FidelityFlow)
 	}
 	seed, runs := s.Seed, s.Runs
 	if seed == 0 {
@@ -101,7 +114,7 @@ func RunOpts(s *Spec, scale float64, opts Options) (*experiments.Result, error) 
 			spec := grid[si][0].spec
 			x := sampleAxis(spec, scale)
 			y := runner.AverageSeries(runs, func(r int) []float64 {
-				return runSampled(spec, scale, seed+int64(r)*seedStride, len(x), col, sc)
+				return runSampled(spec, scale, seed+int64(r)*seedStride, len(x), col, sc, opts.Fidelity)
 			})
 			res.AddSeries(sv.Label, x, y)
 		}
@@ -121,7 +134,7 @@ func RunOpts(s *Spec, scale float64, opts Options) (*experiments.Result, error) 
 		}
 	}
 	ys := runner.Map(len(jobs), func(i int) float64 {
-		return runScalar(jobs[i].spec, scale, seed+int64(i%runs)*seedStride, col, sc)
+		return runScalar(jobs[i].spec, scale, seed+int64(i%runs)*seedStride, col, sc, opts.Fidelity)
 	})
 	k := 0
 	for si, sv := range series {
@@ -169,8 +182,8 @@ func sweepX(sw *SweepSpec, vi int) float64 {
 }
 
 // runScalar runs one world to the horizon and measures it.
-func runScalar(s *Spec, scale float64, seed int64, col *stats.Collector, sc experiments.ShardConfig) float64 {
-	c := compile(s, scale, seed, sc)
+func runScalar(s *Spec, scale float64, seed int64, col *stats.Collector, sc experiments.ShardConfig, fidelity string) float64 {
+	c := compile(s, scale, seed, sc, fidelity)
 	defer c.w.Finish(col)
 	c.w.RunFor(c.horizon)
 	return c.measure(c.horizon)
@@ -194,8 +207,8 @@ func sampleAxis(s *Spec, scale float64) []float64 {
 
 // runSampled runs one world, pausing every sample period to record the
 // metric — a trajectory instead of an endpoint.
-func runSampled(s *Spec, scale float64, seed int64, points int, col *stats.Collector, sc experiments.ShardConfig) []float64 {
-	c := compile(s, scale, seed, sc)
+func runSampled(s *Spec, scale float64, seed int64, points int, col *stats.Collector, sc experiments.ShardConfig, fidelity string) []float64 {
+	c := compile(s, scale, seed, sc, fidelity)
 	defer c.w.Finish(col)
 	sample := time.Duration(float64(s.Measure.Sample.D()) * c.tscale)
 	out := make([]float64, 0, points)

@@ -54,9 +54,12 @@ func (c *compiled) fire(ev *Event) {
 		c.fireRamp(ev)
 	case ActSetRate:
 		for _, inst := range c.targets(ev.Peers, ev.Index) {
-			if inst.host.Link != nil {
+			switch {
+			case inst.host.Link != nil:
 				inst.host.Link.SetRate(ev.Up.R(), ev.Down.R())
-			} else {
+			case inst.host.Flow != nil:
+				inst.host.Flow.SetRate(ev.Up.R(), ev.Down.R())
+			default:
 				inst.host.WLAN.SetRate(ev.RateV.R())
 			}
 		}

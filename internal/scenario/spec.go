@@ -214,6 +214,16 @@ const (
 	RoleLeech = "leech"
 )
 
+// Fidelity levels for a peer group's transport model. Packet fidelity
+// simulates every packet crossing the access link; flow fidelity models a
+// wired group's bulk transfers as fluid flows whose rates are max-min
+// shared per link, collapsing the per-packet event stream to one delivery
+// event per packet. The values match experiments.FidelityPacket/Flow.
+const (
+	FidelityPacket = "packet"
+	FidelityFlow   = "flow"
+)
+
 // PeerGroup declares Count identically-configured peers. Instance i of a
 // group is addressable by events ("peers": name, "index": i) and inherits
 // the group's link, mobility, and protocol settings.
@@ -224,6 +234,11 @@ type PeerGroup struct {
 	// Role is "seed" (full content) or "leech" (default).
 	Role string   `json:"role,omitempty"`
 	Link LinkSpec `json:"link"`
+	// Fidelity selects the group's transport model: "packet" (default) or
+	// "flow" (fluid flows on the wired core). Flow fidelity requires a
+	// wired link and no mobility block — handoffs rebind addresses, which
+	// the flow fabric's per-IP link table cannot follow.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	// StartAt delays the instances' start; instance i starts at
 	// StartAt + i·ArrivalInterval (a flash crowd is a group with a short

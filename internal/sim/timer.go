@@ -42,6 +42,16 @@ func (t *Timer) Stop() {
 // Armed reports whether a firing is pending.
 func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
 
+// When returns the virtual time of the pending firing, or false when the
+// timer is unarmed — letting callers skip a Reset that would land the event
+// exactly where it already is.
+func (t *Timer) When() (time.Duration, bool) {
+	if t.ev == nil || t.ev.Cancelled() {
+		return 0, false
+	}
+	return t.ev.At(), true
+}
+
 // Ticker repeatedly invokes a callback at a fixed virtual-time interval.
 // The zero value is not usable; create tickers with NewTicker.
 type Ticker struct {

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/flow"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
@@ -323,6 +324,24 @@ func WatchWireless(r *Recorder, name string, ch *netem.WirelessChannel) {
 func WatchLink(r *Recorder, name string, l *netem.AccessLink) {
 	drops := r.engine.Stats().Counter("trace.watch." + name + ".drops")
 	l.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
+		drops.Inc()
+		r.Emit(name, "drop", "%v %v", reason, packetInfo(p))
+	})
+}
+
+// WatchFlow records stream lifecycle events (open/close/rate changes) and
+// drops on a fluid fabric, feeding the "trace.watch.<name>.streams" and
+// ".drops" counters. Observers chain with any already installed.
+func WatchFlow(r *Recorder, name string, f *flow.Fabric) {
+	streams := r.engine.Stats().Counter("trace.watch." + name + ".streams")
+	drops := r.engine.Stats().Counter("trace.watch." + name + ".drops")
+	f.OnStream(func(ev flow.StreamEvent) {
+		if ev.Kind == "open" {
+			streams.Inc()
+		}
+		r.Emit(name, ev.Kind, "%v→%v up=%v rate=%.0fB/s", ev.Src, ev.Dst, ev.Up, ev.Rate)
+	})
+	f.OnDrop(func(p *netem.Packet, reason netem.DropReason) {
 		drops.Inc()
 		r.Emit(name, "drop", "%v %v", reason, packetInfo(p))
 	})
