@@ -81,7 +81,7 @@ func (c *Client) DigestInto(d *check.Digest) {
 	d.I64(int64(c.completedAt))
 	d.Int(len(c.known))
 	d.Int(len(c.active))
-	d.Int(len(c.requested))
+	d.Int(c.requested.Len())
 	d.Int(len(c.peers))
 	for _, p := range c.peers {
 		d.Str(string(p.id))
@@ -90,7 +90,7 @@ func (c *Client) DigestInto(d *check.Digest) {
 		d.Bool(p.peerChoking)
 		d.Bool(p.amInterested)
 		d.Bool(p.peerInterested)
-		d.Int(len(p.requestsOut))
+		d.Int(p.requestsOut.Len())
 		d.I64(p.piecesRcvd)
 	}
 }

@@ -2,11 +2,11 @@ package bt
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
 	"github.com/wp2p/wp2p/internal/tcp"
@@ -123,10 +123,12 @@ type Client struct {
 	pending *Bitfield // pieces currently active (being fetched)
 	avail   []int     // per-piece count over connected peers
 	active  []*pieceProgress
-	// requested maps each in-flight block to its requesters. Outside
-	// endgame every block has exactly one; in endgame the final blocks are
-	// requested from several peers and the losers are cancelled.
-	requested map[blockRef][]*peerConn
+	// requested maps each in-flight block to its requesters, in request
+	// order. Outside endgame every block has exactly one; in endgame the
+	// final blocks are requested from several peers and the losers are
+	// cancelled. The ordered index gives the stale-request sweep a
+	// deterministic walk without sorting.
+	requested ordset.Set[blockRef, []*peerConn]
 
 	peers   []*peerConn
 	known   []PeerInfo         // insertion-ordered tracker knowledge
@@ -208,7 +210,6 @@ func NewClient(cfg Config) *Client {
 	c.have = NewBitfield(n)
 	c.pending = NewBitfield(n)
 	c.avail = make([]int, n)
-	c.requested = make(map[blockRef][]*peerConn)
 	c.failedOnce = make(map[int]bool)
 	c.banned = make(map[PeerID]bool)
 	c.knownAt = make(map[netem.Addr]int)
@@ -561,7 +562,7 @@ func (c *Client) fillRequests(p *peerConn) {
 	if c.stopped || p.closed || p.peerChoking || !p.amInterested {
 		return
 	}
-	for len(p.requestsOut) < c.cfg.PipelineDepth {
+	for p.requestsOut.Len() < c.cfg.PipelineDepth {
 		piece, block := c.pickBlock(p)
 		if piece < 0 {
 			// Endgame: every missing block is already in flight somewhere.
@@ -573,7 +574,7 @@ func (c *Client) fillRequests(p *peerConn) {
 			}
 		}
 		ref := blockRef{piece, block}
-		c.requested[ref] = append(c.requested[ref], p)
+		c.requested.Put(ref, append(c.requested.Val(ref), p))
 		p.request(piece, block)
 	}
 }
@@ -598,10 +599,10 @@ func (c *Client) pickEndgameBlock(p *peerConn) (piece, block int) {
 				continue
 			}
 			ref := blockRef{prog.piece, b}
-			if _, mine := p.requestsOut[ref]; mine {
+			if p.requestsOut.Has(ref) {
 				continue
 			}
-			if n := len(c.requested[ref]); n < bestOwners {
+			if n := len(c.requested.Val(ref)); n < bestOwners {
 				best, bestOwners = ref, n
 			}
 		}
@@ -654,7 +655,7 @@ func (c *Client) freeBlock(prog *pieceProgress) int {
 		if prog.received.Has(b) {
 			continue
 		}
-		if len(c.requested[blockRef{prog.piece, b}]) > 0 {
+		if len(c.requested.Val(blockRef{prog.piece, b})) > 0 {
 			continue
 		}
 		return b
@@ -663,20 +664,13 @@ func (c *Client) freeBlock(prog *pieceProgress) int {
 }
 
 // returnRequests releases every in-flight block assigned to p so other peers
-// can fetch them.
+// can fetch them. Draining slot 0 until the index empties walks the set in
+// a deterministic (request-order-derived) sequence with no sort and no
+// scratch allocation.
 func (c *Client) returnRequests(p *peerConn) {
-	refs := make([]blockRef, 0, len(p.requestsOut))
-	for ref := range p.requestsOut {
-		refs = append(refs, ref)
-	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].piece != refs[j].piece {
-			return refs[i].piece < refs[j].piece
-		}
-		return refs[i].block < refs[j].block
-	})
-	for _, ref := range refs {
-		delete(p.requestsOut, ref)
+	for p.requestsOut.Len() > 0 {
+		ref := p.requestsOut.KeyAt(0)
+		p.requestsOut.Delete(ref)
 		c.dropRequester(ref, p)
 	}
 	c.refillAll()
@@ -692,7 +686,7 @@ func (c *Client) refillAll() {
 
 // dropRequester removes p from a block's requester set.
 func (c *Client) dropRequester(ref blockRef, p *peerConn) {
-	owners := c.requested[ref]
+	owners := c.requested.Val(ref)
 	for i, q := range owners {
 		if q == p {
 			owners = append(owners[:i], owners[i+1:]...)
@@ -700,9 +694,9 @@ func (c *Client) dropRequester(ref blockRef, p *peerConn) {
 		}
 	}
 	if len(owners) == 0 {
-		delete(c.requested, ref)
+		c.requested.Delete(ref)
 	} else {
-		c.requested[ref] = owners
+		c.requested.Put(ref, owners)
 	}
 }
 
@@ -711,14 +705,14 @@ func (c *Client) dropRequester(ref blockRef, p *peerConn) {
 func (c *Client) onBlock(p *peerConn, piece, block, length int, corrupt bool) {
 	ref := blockRef{piece, block}
 	// Cancel any endgame racers still fetching this block.
-	for _, q := range c.requested[ref] {
+	for _, q := range c.requested.Val(ref) {
 		if q == p || q.closed {
 			continue
 		}
-		delete(q.requestsOut, ref)
+		q.requestsOut.Delete(ref)
 		q.send(msgCancel{Piece: piece, Begin: block * BlockSize, Length: length})
 	}
-	delete(c.requested, ref)
+	c.requested.Delete(ref)
 	c.downloaded += int64(length)
 	c.downTotal.Add(c.engine.Now(), int64(length))
 	var prog *pieceProgress
@@ -825,28 +819,20 @@ func (c *Client) sweep() {
 		p   *peerConn
 	}
 	var stale []staleReq
-	for ref, owners := range c.requested {
+	// The ordered index iterates deterministically (slot order is a pure
+	// function of the event history), so no sort is needed before acting.
+	c.requested.Range(func(ref blockRef, owners []*peerConn) bool {
 		for _, p := range owners {
-			if at, ok := p.requestsOut[ref]; !ok || now-at > c.cfg.RequestTimeout {
+			if at, ok := p.requestsOut.Get(ref); !ok || now-at > c.cfg.RequestTimeout {
 				stale = append(stale, staleReq{ref: ref, p: p})
 			}
 		}
-	}
-	// Map iteration order is runtime-random; sort for deterministic runs.
-	sort.Slice(stale, func(i, j int) bool {
-		a, b := stale[i], stale[j]
-		if a.ref.piece != b.ref.piece {
-			return a.ref.piece < b.ref.piece
-		}
-		if a.ref.block != b.ref.block {
-			return a.ref.block < b.ref.block
-		}
-		return a.p.id < b.p.id
+		return true
 	})
 	for _, s := range stale {
 		c.dropRequester(s.ref, s.p)
 		if !s.p.closed {
-			delete(s.p.requestsOut, s.ref)
+			s.p.requestsOut.Delete(s.ref)
 			s.p.send(msgCancel{
 				Piece:  s.ref.piece,
 				Begin:  s.ref.block * BlockSize,
@@ -867,7 +853,7 @@ func (c *Client) DebugPeers() string {
 	for _, p := range c.peers {
 		s += fmt.Sprintf("[%s in=%v amI=%v pChk=%v amChk=%v pInt=%v reqOut=%d rx=%d conn{%s}]",
 			p.id, p.inbound, p.amInterested, p.peerChoking, p.amChoking, p.peerInterested,
-			len(p.requestsOut), p.piecesRcvd, p.conn.DebugState())
+			p.requestsOut.Len(), p.piecesRcvd, p.conn.DebugState())
 	}
 	if s == "" {
 		s = "(no peers)"

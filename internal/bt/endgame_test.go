@@ -44,11 +44,12 @@ func TestEndgameDuplicateCap(t *testing.T) {
 	violated := false
 	for i := 0; i < 120 && !leech.Complete(); i++ {
 		env.engine.RunFor(2 * time.Second)
-		for _, owners := range leech.requested {
+		leech.requested.Range(func(_ blockRef, owners []*peerConn) bool {
 			if len(owners) > endgameMaxDup {
 				violated = true
 			}
-		}
+			return true
+		})
 	}
 	if violated {
 		t.Error("a block had more than endgameMaxDup requesters")

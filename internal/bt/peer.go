@@ -5,6 +5,7 @@ import (
 
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
 
@@ -36,8 +37,10 @@ type peerConn struct {
 	upRate   *metrics.RateEstimator // payload bytes we sent to this peer
 	downRate *metrics.RateEstimator // payload bytes received from this peer
 
-	// requestsOut tracks blocks we have asked this peer for.
-	requestsOut map[blockRef]time.Duration
+	// requestsOut tracks blocks we have asked this peer for, in request
+	// order — the deterministic iteration returnRequests and the stale
+	// sweep need without sorting.
+	requestsOut ordset.Set[blockRef, time.Duration]
 	// cancelled marks inbound requests withdrawn while queued on the upload
 	// limiter.
 	cancelled map[blockRef]bool
@@ -70,7 +73,6 @@ func newPeerConn(c *Client, conn *tcp.Conn, addr netem.Addr, inbound bool) *peer
 		remoteHas:   NewBitfield(c.torrent.NumPieces()),
 		upRate:      metrics.NewRateEstimator(c.cfg.RateWindow),
 		downRate:    metrics.NewRateEstimator(c.cfg.RateWindow),
-		requestsOut: make(map[blockRef]time.Duration),
 		cancelled:   make(map[blockRef]bool),
 		connectedAt: c.engine.Now(),
 	}
@@ -257,12 +259,12 @@ func (p *peerConn) grant(ref blockRef, m msgRequest) {
 
 func (p *peerConn) handlePiece(m msgPiece) {
 	ref := blockRef{m.Piece, m.Begin / BlockSize}
-	if _, ok := p.requestsOut[ref]; !ok {
+	if !p.requestsOut.Has(ref) {
 		p.piecesUnwanted++
 		return // unsolicited or already timed out
 	}
 	p.piecesRcvd++
-	delete(p.requestsOut, ref)
+	p.requestsOut.Delete(ref)
 	now := p.client.engine.Now()
 	p.downRate.Add(now, int64(m.Length))
 	p.client.ledger.Add(p.id, int64(m.Length), now)
@@ -308,6 +310,6 @@ func (p *peerConn) setChoke(choke bool) {
 // request sends one block request and records it.
 func (p *peerConn) request(piece, block int) {
 	length := p.client.torrent.BlockLen(piece, block)
-	p.requestsOut[blockRef{piece, block}] = p.client.engine.Now()
+	p.requestsOut.Put(blockRef{piece, block}, p.client.engine.Now())
 	p.send(msgRequest{Piece: piece, Begin: block * BlockSize, Length: length})
 }

@@ -1,10 +1,12 @@
 package bt
 
 import (
-	"sort"
+	"fmt"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
 )
@@ -70,11 +72,21 @@ type Announcer interface {
 // Entries not refreshed within two intervals are pruned, which is exactly
 // why a handed-off mobile peer's stale address lingers in other peers' lists
 // for minutes (paper §3.5).
+//
+// The per-swarm directory is an ordset.Set — peers occupy dense slots
+// assigned at first announce — so every announce is O(want): insertion,
+// address update, and removal are O(1) map+slot operations, the reply is a
+// partial-shuffle sample instead of a sort-plus-full-shuffle over the whole
+// swarm, and expiry amortizes to O(1) via a monotonic last-seen queue
+// (DESIGN.md §17).
 type Tracker struct {
 	engine   *sim.Engine
 	interval time.Duration
 	rtt      time.Duration
-	swarms   map[InfoHash]map[PeerID]*trackerEntry
+	swarms   map[InfoHash]*swarmIndex
+	// order holds the swarms in first-announce order — the deterministic
+	// iteration the digest and invariant hooks need without sorting.
+	order []InfoHash
 
 	// Announces counts announce requests, for tests.
 	Announces int
@@ -83,9 +95,53 @@ type Tracker struct {
 	regReannounces *stats.Counter
 }
 
+// swarmIndex is one swarm's peer directory: the slot-indexed peer set, an
+// O(1) seed tally, and the lazy-expiry queue.
+type swarmIndex struct {
+	peers ordset.Set[PeerID, trackerEntry]
+	seeds int
+	// expiry records (peer, lastSeen) in announce order. The engine clock
+	// is monotone, so the queue is sorted by lastSeen: pruning pops from
+	// the front until it meets a record inside the window. A record whose
+	// lastSeen no longer matches the live entry is stale — the peer
+	// re-announced after the record was queued — and is discarded,
+	// leaving its newer record deeper in the queue.
+	expiry expiryQueue
+}
+
 type trackerEntry struct {
 	info     PeerInfo
 	lastSeen time.Duration
+}
+
+// expiryQueue is a FIFO of (peer, lastSeen) records backed by a sliding
+// slice: pop advances a head index, push appends, and the consumed prefix
+// is compacted away once it outgrows the live tail.
+type expiryQueue struct {
+	recs []expiryRec
+	head int
+}
+
+type expiryRec struct {
+	id   PeerID
+	seen time.Duration
+}
+
+func (q *expiryQueue) len() int           { return len(q.recs) - q.head }
+func (q *expiryQueue) front() expiryRec   { return q.recs[q.head] }
+func (q *expiryQueue) at(i int) expiryRec { return q.recs[q.head+i] }
+
+func (q *expiryQueue) push(r expiryRec) {
+	q.recs = append(q.recs, r)
+}
+
+func (q *expiryQueue) pop() {
+	q.head++
+	if q.head >= 64 && q.head*2 >= len(q.recs) {
+		n := copy(q.recs, q.recs[q.head:])
+		q.recs = q.recs[:n]
+		q.head = 0
+	}
 }
 
 // TrackerConfig parameterizes a Tracker.
@@ -94,7 +150,8 @@ type TrackerConfig struct {
 	RTT      time.Duration // simulated request latency
 }
 
-// NewTracker builds an empty tracker.
+// NewTracker builds an empty tracker and registers it with the engine so
+// invariant sweeps and determinism digests cover the swarm directories.
 func NewTracker(engine *sim.Engine, cfg TrackerConfig) *Tracker {
 	if cfg.Interval == 0 {
 		cfg.Interval = DefaultAnnounceInterval
@@ -102,14 +159,16 @@ func NewTracker(engine *sim.Engine, cfg TrackerConfig) *Tracker {
 	if cfg.RTT == 0 {
 		cfg.RTT = DefaultTrackerRTT
 	}
-	return &Tracker{
+	t := &Tracker{
 		engine:         engine,
 		interval:       cfg.Interval,
 		rtt:            cfg.RTT,
-		swarms:         make(map[InfoHash]map[PeerID]*trackerEntry),
+		swarms:         make(map[InfoHash]*swarmIndex),
 		regAnnounces:   engine.Stats().Counter("bt.tracker.announces"),
 		regReannounces: engine.Stats().Counter("bt.tracker.reannounces"),
 	}
+	engine.Register(t)
+	return t
 }
 
 // Interval returns the announce interval the tracker hands to clients.
@@ -149,65 +208,176 @@ func (t *Tracker) HandleAnnounce(req AnnounceRequest) AnnounceResponse {
 	return t.handle(req)
 }
 
+// expireBefore is the prune horizon: entries that have missed two announce
+// windows (plus the request latency) are dropped.
+func (t *Tracker) expireBefore(now time.Duration) time.Duration {
+	return now - (2*t.interval + t.rtt)
+}
+
 func (t *Tracker) handle(req AnnounceRequest) AnnounceResponse {
-	swarm := t.swarms[req.InfoHash]
-	if swarm == nil {
-		swarm = make(map[PeerID]*trackerEntry)
-		t.swarms[req.InfoHash] = swarm
+	sw := t.swarms[req.InfoHash]
+	if sw == nil {
+		sw = &swarmIndex{}
+		t.swarms[req.InfoHash] = sw
+		t.order = append(t.order, req.InfoHash)
 	}
 	now := t.engine.Now()
 
-	// Prune entries that have missed two announce windows.
-	for id, e := range swarm {
-		if now-e.lastSeen > 2*t.interval+t.rtt {
-			delete(swarm, id)
-		}
-	}
+	sw.expire(t.expireBefore(now))
 
 	if req.Event == EventStopped {
-		delete(swarm, req.PeerID)
+		sw.remove(req.PeerID)
 	} else {
-		swarm[req.PeerID] = &trackerEntry{
+		sw.upsert(trackerEntry{
 			info:     PeerInfo{ID: req.PeerID, Addr: req.Addr, Seed: req.Seed || req.Event == EventCompleted},
 			lastSeen: now,
-		}
+		})
 	}
 
 	want := req.NumWant
 	if want <= 0 {
 		want = DefaultNumWant
 	}
-	peers := make([]PeerInfo, 0, len(swarm))
-	for id, e := range swarm {
-		if id == req.PeerID {
-			continue
-		}
+	replyCap := want
+	if m := sw.peers.Len(); replyCap > m {
+		replyCap = m
+	}
+	peers := make([]PeerInfo, 0, replyCap)
+	sw.peers.SampleExcluding(t.engine.Rand(), want, req.PeerID, func(_ PeerID, e trackerEntry) {
 		peers = append(peers, e.info)
-	}
-	// Map iteration order is runtime-random; sort before the seeded shuffle
-	// so identical runs return identical peer lists.
-	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
-	r := t.engine.Rand()
-	for i := len(peers) - 1; i > 0; i-- {
-		j := r.Intn(i + 1)
-		peers[i], peers[j] = peers[j], peers[i]
-	}
-	if len(peers) > want {
-		peers = peers[:want]
-	}
+	})
 	return AnnounceResponse{Interval: t.interval, Peers: peers}
 }
 
-// SwarmSize reports current members of a swarm, for tests and metrics.
-func (t *Tracker) SwarmSize(h InfoHash) int { return len(t.swarms[h]) }
-
-// Seeds reports how many current members are seeds.
-func (t *Tracker) Seeds(h InfoHash) int {
-	n := 0
-	for _, e := range t.swarms[h] {
+// upsert inserts or refreshes a peer entry, keeping the seed tally and the
+// expiry queue in step.
+func (sw *swarmIndex) upsert(e trackerEntry) {
+	if old, ok := sw.peers.Get(e.info.ID); ok {
+		if old.info.Seed != e.info.Seed {
+			if e.info.Seed {
+				sw.seeds++
+			} else {
+				sw.seeds--
+			}
+		}
+		sw.peers.Put(e.info.ID, e)
+	} else {
+		sw.peers.Put(e.info.ID, e)
 		if e.info.Seed {
-			n++
+			sw.seeds++
 		}
 	}
-	return n
+	sw.expiry.push(expiryRec{id: e.info.ID, seen: e.lastSeen})
+}
+
+// remove deletes a peer entry if present. Its queue records turn stale and
+// are discarded as they surface.
+func (sw *swarmIndex) remove(id PeerID) {
+	if e, ok := sw.peers.Delete(id); ok && e.info.Seed {
+		sw.seeds--
+	}
+}
+
+// expire lazily prunes entries last seen at or before the horizon. Queue
+// records are in lastSeen order (the engine clock is monotone), so every
+// expired entry's newest record sits in the already-expired prefix — the
+// pop loop removes exactly the set a full scan would, amortized O(1) per
+// announce.
+func (sw *swarmIndex) expire(horizon time.Duration) {
+	for sw.expiry.len() > 0 {
+		rec := sw.expiry.front()
+		if rec.seen > horizon {
+			return
+		}
+		sw.expiry.pop()
+		if e, ok := sw.peers.Get(rec.id); ok && e.lastSeen == rec.seen {
+			sw.remove(rec.id)
+		}
+	}
+}
+
+// SwarmSize reports current members of a swarm, for tests and metrics.
+func (t *Tracker) SwarmSize(h InfoHash) int {
+	if sw := t.swarms[h]; sw != nil {
+		return sw.peers.Len()
+	}
+	return 0
+}
+
+// Seeds reports how many current members are seeds — an O(1) counter
+// maintained across announce, completion, stop, and expiry.
+func (t *Tracker) Seeds(h InfoHash) int {
+	if sw := t.swarms[h]; sw != nil {
+		return sw.seeds
+	}
+	return 0
+}
+
+// CheckState audits every swarm index (check.Checkable): slot-map ↔ array
+// coherence, the O(1) seed tally against a recount, expiry-queue
+// monotonicity, and that every live entry's lastSeen is still represented
+// in the queue (otherwise it could never expire).
+func (t *Tracker) CheckState(report func(invariant, detail string)) {
+	for _, h := range t.order {
+		sw := t.swarms[h]
+		sw.peers.CheckCoherent(func(detail string) {
+			report("bt.tracker.index", fmt.Sprintf("swarm %s: %s", h, detail))
+		})
+
+		seeds := 0
+		sw.peers.Range(func(_ PeerID, e trackerEntry) bool {
+			if e.info.Seed {
+				seeds++
+			}
+			return true
+		})
+		if seeds != sw.seeds {
+			report("bt.tracker.seeds",
+				fmt.Sprintf("swarm %s: seed counter %d, recount %d", h, sw.seeds, seeds))
+		}
+
+		covered := make(map[PeerID]time.Duration, sw.peers.Len())
+		for i, n := 0, sw.expiry.len(); i < n; i++ {
+			rec := sw.expiry.at(i)
+			if i > 0 && rec.seen < sw.expiry.at(i-1).seen {
+				report("bt.tracker.expiry_order",
+					fmt.Sprintf("swarm %s: queue record %d regresses (%v after %v)",
+						h, i, rec.seen, sw.expiry.at(i-1).seen))
+				break
+			}
+			covered[rec.id] = rec.seen
+		}
+		sw.peers.Range(func(id PeerID, e trackerEntry) bool {
+			if covered[id] != e.lastSeen {
+				report("bt.tracker.expiry_coverage",
+					fmt.Sprintf("swarm %s: entry %s lastSeen %v has no queue record", h, id, e.lastSeen))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// DigestInto folds the tracker directory into a determinism digest
+// (check.Digestable). Swarms are walked in first-announce order and peers
+// in slot order — both pure functions of the event history, so equal
+// trajectories hash equal without any sorting.
+func (t *Tracker) DigestInto(d *check.Digest) {
+	d.Str("bt.Tracker")
+	d.Int(len(t.order))
+	for _, h := range t.order {
+		sw := t.swarms[h]
+		d.Str(string(h[:]))
+		d.Int(sw.peers.Len())
+		d.Int(sw.seeds)
+		d.Int(sw.expiry.len())
+		sw.peers.Range(func(id PeerID, e trackerEntry) bool {
+			d.Str(string(id))
+			d.U64(uint64(e.info.Addr.IP))
+			d.U64(uint64(e.info.Addr.Port))
+			d.Bool(e.info.Seed)
+			d.I64(int64(e.lastSeen))
+			return true
+		})
+	}
 }

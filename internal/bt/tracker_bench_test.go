@@ -1,0 +1,69 @@
+package bt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// BenchmarkTrackerAnnounce measures one steady-state periodic announce
+// against a populated swarm — the per-announce cost that multiplies into
+// the large-swarm wall time (10k peers × announce cadence). Sizes cover
+// the figure-scale swarms (100), the mid crowds (1k), and the
+// flashcrowd-large workload (10k).
+func BenchmarkTrackerAnnounce(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("swarm%d", n), func(b *testing.B) {
+			e := sim.NewEngine(sim.WithSeed(1))
+			tr := NewTracker(e, TrackerConfig{})
+			h := NewMetaInfo("bench", 1<<20, 0).InfoHash()
+			ids := make([]PeerID, n)
+			addrs := make([]netem.Addr, n)
+			for i := range ids {
+				ids[i] = PeerID(fmt.Sprintf("peer-%06d", i))
+				addrs[i] = netem.Addr{IP: netem.IP(i + 1), Port: 6881}
+				tr.HandleAnnounce(AnnounceRequest{
+					InfoHash: h, PeerID: ids[i], Addr: addrs[i], Seed: i%16 == 0,
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % n
+				tr.HandleAnnounce(AnnounceRequest{
+					InfoHash: h, PeerID: ids[p], Addr: addrs[p], Seed: p%16 == 0,
+				})
+			}
+			if tr.SwarmSize(h) != n {
+				b.Fatalf("swarm size drifted: %d != %d", tr.SwarmSize(h), n)
+			}
+		})
+	}
+}
+
+// BenchmarkTrackerAnnounceChurn measures the announce path under arrival +
+// expiry pressure: each op announces a fresh peer while virtual time
+// advances, so stale entries continually cross the two-interval prune
+// horizon. This is the path where eager full-swarm prune scans used to go
+// quadratic.
+func BenchmarkTrackerAnnounceChurn(b *testing.B) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	tr := NewTracker(e, TrackerConfig{})
+	h := NewMetaInfo("bench", 1<<20, 0).InfoHash()
+	step := DefaultAnnounceInterval / 1000 // ~1k live peers at steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i) * step
+		e.Schedule(at-e.Now(), func() {})
+		e.Run() // advance the clock so expiry horizons move
+		tr.HandleAnnounce(AnnounceRequest{
+			InfoHash: h,
+			PeerID:   PeerID(fmt.Sprintf("peer-%09d", i)),
+			Addr:     netem.Addr{IP: netem.IP(i + 1), Port: 6881},
+		})
+	}
+}

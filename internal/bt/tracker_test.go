@@ -1,9 +1,11 @@
 package bt
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"github.com/wp2p/wp2p/internal/check"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 )
@@ -97,6 +99,158 @@ func TestTrackerSeedsCount(t *testing.T) {
 	e.Run()
 	if tr.Seeds(h) != 2 {
 		t.Errorf("Seeds = %d after completion, want 2", tr.Seeds(h))
+	}
+}
+
+// Two missed announce windows is the prune horizon: a peer still announcing
+// keeps its entry alive across others' expiry, and the refreshed entry's
+// stale queue records are discarded rather than evicting it early.
+func TestTrackerPruneNeedsTwoMissedWindows(t *testing.T) {
+	e, tr, h := trackerFixture(7, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "quiet", Addr: netem.Addr{IP: 1, Port: 6881}}, nil)
+	e.Run()
+
+	// "live" re-announces every interval; "quiet" never does again.
+	for i := 1; i <= 4; i++ {
+		e.RunUntil(time.Duration(i) * time.Minute)
+		tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "live", Addr: netem.Addr{IP: 2, Port: 6881}}, nil)
+		e.Run()
+	}
+	// quiet last seen ~t=0, horizon is now-(2m+rtt): gone. live refreshed
+	// at t=4m: alive, despite its older queue records being long expired.
+	if got := tr.SwarmSize(h); got != 1 {
+		t.Fatalf("SwarmSize = %d, want 1 (quiet pruned, live kept)", got)
+	}
+	var resp AnnounceResponse
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "x", Addr: netem.Addr{IP: 3, Port: 6881}}, func(r AnnounceResponse) { resp = r })
+	e.Run()
+	if len(resp.Peers) != 1 || resp.Peers[0].ID != "live" {
+		t.Fatalf("peers = %v, want [live]", resp.Peers)
+	}
+}
+
+// The reply sample must hold exactly min(want, swarm−1) distinct peers and
+// never the requester itself, at every swarm-size/want combination.
+func TestTrackerSampleSizeAndExclusion(t *testing.T) {
+	for _, tc := range []struct {
+		swarm, want, expect int
+	}{
+		{swarm: 1, want: 50, expect: 0},   // alone in the swarm
+		{swarm: 10, want: 50, expect: 9},  // small swarm: everyone else
+		{swarm: 51, want: 50, expect: 50}, // exactly enough others
+		{swarm: 200, want: 50, expect: 50},
+		{swarm: 200, want: 5, expect: 5},
+	} {
+		e, tr, h := trackerFixture(8, time.Minute)
+		for i := 0; i < tc.swarm; i++ {
+			tr.Announce(AnnounceRequest{
+				InfoHash: h,
+				PeerID:   PeerID(fmt.Sprintf("p%03d", i)),
+				Addr:     netem.Addr{IP: netem.IP(i + 1), Port: 6881},
+			}, nil)
+		}
+		e.Run()
+		var got AnnounceResponse
+		tr.Announce(AnnounceRequest{
+			InfoHash: h, PeerID: "p000", Addr: netem.Addr{IP: 1, Port: 6881},
+			NumWant: tc.want,
+		}, func(r AnnounceResponse) { got = r })
+		e.Run()
+		if len(got.Peers) != tc.expect {
+			t.Errorf("swarm=%d want=%d: got %d peers, expect %d",
+				tc.swarm, tc.want, len(got.Peers), tc.expect)
+		}
+		seen := map[PeerID]bool{}
+		for _, p := range got.Peers {
+			if p.ID == "p000" {
+				t.Errorf("swarm=%d want=%d: reply contains the requester", tc.swarm, tc.want)
+			}
+			if seen[p.ID] {
+				t.Errorf("swarm=%d want=%d: duplicate peer %s", tc.swarm, tc.want, p.ID)
+			}
+			seen[p.ID] = true
+		}
+	}
+}
+
+// Identical seeds and announce streams must yield byte-identical replies and
+// equal digests — the announce path's contribution to run-to-run identity.
+func TestTrackerSampleDeterminism(t *testing.T) {
+	run := func() ([]AnnounceResponse, uint64) {
+		e, tr, h := trackerFixture(9, time.Minute)
+		for i := 0; i < 120; i++ {
+			tr.Announce(AnnounceRequest{
+				InfoHash: h,
+				PeerID:   PeerID(fmt.Sprintf("p%03d", i)),
+				Addr:     netem.Addr{IP: netem.IP(i + 1), Port: 6881},
+				Seed:     i%3 == 0,
+			}, nil)
+		}
+		e.Run()
+		var replies []AnnounceResponse
+		for i := 0; i < 20; i++ {
+			tr.Announce(AnnounceRequest{
+				InfoHash: h,
+				PeerID:   PeerID(fmt.Sprintf("p%03d", i)),
+				Addr:     netem.Addr{IP: netem.IP(i + 1), Port: 6881},
+			}, func(r AnnounceResponse) { replies = append(replies, r) })
+			e.Run()
+		}
+		d := check.NewDigest()
+		tr.DigestInto(d)
+		return replies, d.Sum()
+	}
+	replies1, sum1 := run()
+	replies2, sum2 := run()
+	if sum1 != sum2 {
+		t.Errorf("digests differ across identical runs: %x vs %x", sum1, sum2)
+	}
+	for i := range replies1 {
+		a, b := replies1[i].Peers, replies2[i].Peers
+		if len(a) != len(b) {
+			t.Fatalf("reply %d: %d vs %d peers", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("reply %d peer %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// The registered invariant hooks must catch a corrupted seed tally — the
+// O(1) counter is only trustworthy because the sweep recounts it.
+func TestTrackerCheckStateCatchesBadSeedCount(t *testing.T) {
+	e, tr, h := trackerFixture(10, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "s", Addr: netem.Addr{IP: 1, Port: 6881}, Seed: true}, nil)
+	e.Run()
+
+	violations := map[string]int{}
+	report := func(invariant, _ string) { violations[invariant]++ }
+	tr.CheckState(report)
+	if len(violations) != 0 {
+		t.Fatalf("clean tracker reported violations: %v", violations)
+	}
+	tr.swarms[h].seeds = 7 // corrupt on purpose
+	tr.CheckState(report)
+	if violations["bt.tracker.seeds"] == 0 {
+		t.Fatal("corrupted seed counter not reported")
+	}
+}
+
+func TestTrackerDigestSeesDirectoryChanges(t *testing.T) {
+	e, tr, h := trackerFixture(11, time.Minute)
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "a", Addr: netem.Addr{IP: 1, Port: 6881}}, nil)
+	e.Run()
+	d1 := check.NewDigest()
+	tr.DigestInto(d1)
+	// An address change alone must move the digest.
+	tr.Announce(AnnounceRequest{InfoHash: h, PeerID: "a", Addr: netem.Addr{IP: 2, Port: 6881}}, nil)
+	e.Run()
+	d2 := check.NewDigest()
+	tr.DigestInto(d2)
+	if d1.Sum() == d2.Sum() {
+		t.Fatal("digest ignored a directory address update")
 	}
 }
 

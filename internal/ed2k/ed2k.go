@@ -21,10 +21,10 @@ package ed2k
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
 )
 
@@ -79,7 +79,7 @@ type SourceInfo struct {
 type Server struct {
 	engine *sim.Engine
 	rtt    time.Duration
-	files  map[FileID]map[ClientHash]SourceInfo
+	files  map[FileID]*ordset.Set[ClientHash, SourceInfo]
 
 	// Queries counts source lookups, for tests.
 	Queries int
@@ -98,43 +98,48 @@ func NewServer(engine *sim.Engine, cfg ServerConfig) *Server {
 	return &Server{
 		engine: engine,
 		rtt:    cfg.RTT,
-		files:  make(map[FileID]map[ClientHash]SourceInfo),
+		files:  make(map[FileID]*ordset.Set[ClientHash, SourceInfo]),
 	}
 }
 
 // Announce registers (or refreshes) a client as a source for a file.
 func (s *Server) Announce(id FileID, src SourceInfo) {
 	s.engine.Schedule(s.rtt, func() {
-		m := s.files[id]
-		if m == nil {
-			m = make(map[ClientHash]SourceInfo)
-			s.files[id] = m
+		set := s.files[id]
+		if set == nil {
+			set = ordset.New[ClientHash, SourceInfo](8)
+			s.files[id] = set
 		}
-		m[src.Hash] = src
+		set.Put(src.Hash, src)
 	})
 }
 
 // Withdraw removes a client's registration.
 func (s *Server) Withdraw(id FileID, hash ClientHash) {
 	s.engine.Schedule(s.rtt, func() {
-		delete(s.files[id], hash)
+		if set := s.files[id]; set != nil {
+			set.Delete(hash)
+		}
 	})
 }
 
 // Query returns the current sources for a file after the server RTT.
+// The ordered index iterates in announce-history order, which is itself
+// deterministic, so no sort is needed for reproducible runs.
 func (s *Server) Query(id FileID, cb func([]SourceInfo)) {
 	s.engine.Schedule(s.rtt, func() {
 		s.Queries++
-		m := s.files[id]
-		out := make([]SourceInfo, 0, len(m))
-		for _, src := range m {
-			out = append(out, src)
+		set := s.files[id]
+		out := make([]SourceInfo, 0, set.Len())
+		if set != nil {
+			set.Range(func(_ ClientHash, src SourceInfo) bool {
+				out = append(out, src)
+				return true
+			})
 		}
-		// Deterministic order for reproducible runs.
-		sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
 		s.engine.Schedule(s.rtt, func() { cb(out) })
 	})
 }
 
 // Sources reports how many sources the server lists for a file.
-func (s *Server) Sources(id FileID) int { return len(s.files[id]) }
+func (s *Server) Sources(id FileID) int { return s.files[id].Len() }

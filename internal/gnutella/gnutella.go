@@ -15,10 +15,10 @@ package gnutella
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
 )
@@ -152,10 +152,12 @@ type link struct {
 	closed bool
 }
 
-// search collects hits for a pending query.
+// search collects hits for a pending query, keyed by responding node so
+// duplicate responses overwrite rather than pile up. Arrival order is
+// event order, hence deterministic — pickSource walks it without sorting.
 type search struct {
 	key  FileKey
-	hits []Hit
+	hits ordset.Set[NodeID, Hit]
 }
 
 // download is one in-progress sequential fetch.
@@ -355,7 +357,7 @@ func (n *Node) handleQuery(from *link, m msgQuery) {
 
 func (n *Node) handleQueryHit(from *link, m msgQueryHit) {
 	if s, ok := n.searches[m.ID]; ok {
-		s.hits = append(s.hits, Hit{Key: m.Key, Size: m.Size, Source: m.Source, Node: m.Node})
+		s.hits.Put(m.Node, Hit{Key: m.Key, Size: m.Size, Source: m.Source, Node: m.Node})
 		return
 	}
 	// Not ours: route back toward the querier.
@@ -373,30 +375,32 @@ func (n *Node) pickSource(id uint64) {
 	delete(n.searches, id)
 	d := n.downloads[s.key]
 	if d == nil {
-		if len(s.hits) == 0 {
+		if s.hits.Len() == 0 {
 			return
 		}
-		d = &download{key: s.key, size: s.hits[0].Size, tried: make(map[netem.Addr]bool)}
+		d = &download{key: s.key, size: s.hits.ValAt(0).Size, tried: make(map[netem.Addr]bool)}
 		n.downloads[s.key] = d
 	}
 	if d.active || d.got == d.size {
 		return
 	}
-	// Prefer an untried source; deterministic order.
-	sort.Slice(s.hits, func(i, j int) bool { return s.hits[i].Node < s.hits[j].Node })
-	var chosen *Hit
-	for i := range s.hits {
-		if !d.tried[s.hits[i].Source] {
-			chosen = &s.hits[i]
-			break
+	// Prefer an untried source; the hit index iterates in arrival order,
+	// which is deterministic, so no sort is needed.
+	var chosen Hit
+	found := false
+	s.hits.Range(func(_ NodeID, h Hit) bool {
+		if !d.tried[h.Source] {
+			chosen, found = h, true
+			return false
 		}
-	}
-	if chosen == nil && len(s.hits) > 0 {
-		// All tried: start over with any responder.
+		return true
+	})
+	if !found && s.hits.Len() > 0 {
+		// All tried: start over with the first responder.
 		d.tried = make(map[netem.Addr]bool)
-		chosen = &s.hits[0]
+		chosen, found = s.hits.ValAt(0), true
 	}
-	if chosen == nil {
+	if !found {
 		n.retrySearch(d)
 		return
 	}

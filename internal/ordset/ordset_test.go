@@ -1,0 +1,190 @@
+package ordset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func noViolations(t *testing.T, s *Set[string, int]) {
+	t.Helper()
+	s.CheckCoherent(func(detail string) { t.Fatalf("incoherent set: %s", detail) })
+}
+
+func TestPutGetDelete(t *testing.T) {
+	var s Set[string, int] // zero value must be usable
+	if s.Len() != 0 || s.Has("a") {
+		t.Fatal("zero value not empty")
+	}
+	if !s.Put("a", 1) || !s.Put("b", 2) || !s.Put("c", 3) {
+		t.Fatal("fresh keys must report inserted")
+	}
+	if s.Put("b", 20) {
+		t.Fatal("overwrite must not report inserted")
+	}
+	if v, ok := s.Get("b"); !ok || v != 20 {
+		t.Fatalf("Get(b) = %d, %v", v, ok)
+	}
+	if s.Val("missing") != 0 {
+		t.Fatal("Val of missing key must be zero")
+	}
+	noViolations(t, &s)
+
+	if v, ok := s.Delete("a"); !ok || v != 1 {
+		t.Fatalf("Delete(a) = %d, %v", v, ok)
+	}
+	if _, ok := s.Delete("a"); ok {
+		t.Fatal("double delete reported present")
+	}
+	if s.Len() != 2 || s.Has("a") {
+		t.Fatalf("Len = %d after delete", s.Len())
+	}
+	noViolations(t, &s)
+}
+
+func TestSwapRemoveKeepsDenseSlots(t *testing.T) {
+	s := New[string, int](8)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		s.Put(k, int(k[0]))
+	}
+	s.Delete("b") // "d" must drop into b's slot
+	if got := s.KeyAt(1); got != "d" {
+		t.Fatalf("slot 1 holds %q after swap-remove, want d", got)
+	}
+	seen := map[string]int{}
+	s.Range(func(k string, v int) bool { seen[k] = v; return true })
+	if len(seen) != 3 || seen["d"] != 'd' || seen["a"] != 'a' || seen["c"] != 'c' {
+		t.Fatalf("Range saw %v", seen)
+	}
+	noViolations(t, s)
+}
+
+// Identical operation histories must produce identical slot orders — the
+// property every digest and trajectory guarantee leans on.
+func TestOrderIsAFunctionOfHistory(t *testing.T) {
+	build := func() []string {
+		s := New[string, int](0)
+		ops := rand.New(rand.NewSource(7))
+		live := []string{}
+		for i := 0; i < 500; i++ {
+			switch {
+			case len(live) == 0 || ops.Intn(3) > 0:
+				k := string(rune('A' + i%26))
+				if s.Put(k, i) {
+					live = append(live, k)
+				}
+			default:
+				k := live[ops.Intn(len(live))]
+				s.Delete(k)
+				for j, q := range live {
+					if q == k {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+		out := []string{}
+		s.Range(func(k string, _ int) bool { out = append(out, k); return true })
+		s.CheckCoherent(func(detail string) { t.Fatalf("incoherent: %s", detail) })
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleExcluding(t *testing.T) {
+	s := New[string, int](64)
+	for i := 0; i < 60; i++ {
+		s.Put(string(rune('a'+i/26))+string(rune('a'+i%26)), i)
+	}
+	r := rand.New(rand.NewSource(3))
+
+	for _, tc := range []struct {
+		want, expect int
+		exclude      string
+	}{
+		{want: 50, exclude: "aa", expect: 50},
+		{want: 200, exclude: "aa", expect: 59}, // all but the excluded
+		{want: 200, exclude: "zz", expect: 60}, // excluded key absent
+		{want: 0, exclude: "aa", expect: 0},
+	} {
+		seen := map[string]bool{}
+		got := s.SampleExcluding(r, tc.want, tc.exclude, func(k string, v int) {
+			if seen[k] {
+				t.Fatalf("duplicate sample %q", k)
+			}
+			seen[k] = true
+		})
+		if got != tc.expect || len(seen) != tc.expect {
+			t.Fatalf("want=%d exclude=%q: visited %d (returned %d), expect %d",
+				tc.want, tc.exclude, len(seen), got, tc.expect)
+		}
+		if seen[tc.exclude] {
+			t.Fatalf("sample included the excluded key %q", tc.exclude)
+		}
+		noViolations(t, s)
+	}
+}
+
+// Two same-seeded RNGs over identically built sets must draw identical
+// samples — the announce-path determinism requirement.
+func TestSampleDeterminism(t *testing.T) {
+	build := func() *Set[string, int] {
+		s := New[string, int](32)
+		for i := 0; i < 30; i++ {
+			s.Put(string(rune('a'+i)), i)
+		}
+		s.Delete(string(rune('a' + 7)))
+		return s
+	}
+	s1, s2 := build(), build()
+	r1, r2 := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		var a, b []string
+		s1.SampleExcluding(r1, 5, "c", func(k string, _ int) { a = append(a, k) })
+		s2.SampleExcluding(r2, 5, "c", func(k string, _ int) { b = append(b, k) })
+		if len(a) != len(b) {
+			t.Fatalf("round %d: lengths differ", round)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d sample %d: %q vs %q", round, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// A single-entry set must not consume RNG state: the forced choice draws
+// nothing, matching the old full-shuffle's behaviour on tiny swarms.
+func TestSampleSingleEntryDrawsNoRand(t *testing.T) {
+	s := New[string, int](2)
+	s.Put("only", 1)
+	r := rand.New(rand.NewSource(5))
+	want := rand.New(rand.NewSource(5)).Int63()
+	n := s.SampleExcluding(r, 50, "absent", func(string, int) {})
+	if n != 1 {
+		t.Fatalf("sampled %d, want 1", n)
+	}
+	if got := r.Int63(); got != want {
+		t.Fatal("sampling a forced choice consumed RNG state")
+	}
+}
+
+func TestCheckCoherentDetectsCorruption(t *testing.T) {
+	s := New[string, int](4)
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.slot["a"], s.slot["b"] = s.slot["b"], s.slot["a"] // corrupt on purpose
+	called := false
+	s.CheckCoherent(func(string) { called = true })
+	if !called {
+		t.Fatal("corrupted slot map not reported")
+	}
+}
