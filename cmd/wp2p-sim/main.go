@@ -55,6 +55,8 @@ func run() int {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for concurrent runs; 1 = fully sequential")
 	shards := flag.Int("shards", 0, "shard each world across this many engine workers (shard-capable experiments only; 0 = single engine); results are identical at any value")
 	fidelity := flag.String("fidelity", "", "wired-core transport model for fidelity-capable experiments (fig2a, fig4a): \"packet\" (default) or \"flow\" (fluid flows; wireless/mobile peers stay packet-level)")
+	transportBackend := flag.String("transport", "sim", "protocol transport backend: \"sim\" runs the simulated experiments; \"net\" runs a live BitTorrent swarm over real loopback sockets instead")
+	netLeeches := flag.Int("net-leeches", 3, "leech count for the -transport net live swarm")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stats := flag.Bool("stats", false, "print each experiment's cross-layer stats summary")
 	jsonDir := flag.String("json", "", "write each result as wp2p.result.v1 JSON into this directory")
@@ -82,6 +84,16 @@ func run() int {
 			fmt.Println(id)
 		}
 		return 0
+	}
+
+	switch *transportBackend {
+	case "sim":
+		// The experiment registry below.
+	case "net":
+		return runNetDemo(*scale, *netLeeches)
+	default:
+		fmt.Fprintf(os.Stderr, "wp2p-sim: unknown -transport %q (want \"sim\" or \"net\")\n", *transportBackend)
+		return 1
 	}
 
 	if *cpuprofile != "" {

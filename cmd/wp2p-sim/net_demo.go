@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/bt"
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/transport"
+)
+
+// runNetDemo runs a small live BitTorrent swarm over the real-socket
+// transport backend: every peer is a virtual host on a transport.Group, each
+// connection is a real TCP socket on loopback, and every modelled wire byte
+// is carried as a real padded frame. It is the -transport net counterpart to
+// the simulated experiments — the same protocol code, deployed instead of
+// modelled — and doubles as a smoke test that the seam is really pure.
+func runNetDemo(scale float64, leeches int) int {
+	fileSize := int64(float64(4*1024*1024) * scale)
+	if fileSize < 256*1024 {
+		fileSize = 256 * 1024
+	}
+	group := transport.NewGroup(1)
+	defer group.Close()
+
+	fmt.Printf("live swarm over loopback sockets: 1 seed + %d leeches, %d KB file\n",
+		leeches, fileSize/1024)
+
+	var clients []*bt.Client
+	var startErr error
+	group.Do(func() {
+		tor := bt.NewMetaInfo("net-demo", fileSize, 64*1024)
+		tracker := bt.NewTracker(group.Engine(), bt.TrackerConfig{Interval: 5 * time.Second})
+		mk := func(seed bool) *bt.Client {
+			c := bt.NewClient(bt.Config{
+				Transport: group.Host(netem.IP(10 + len(clients))),
+				Torrent:   tor,
+				Tracker:   tracker,
+				Seed:      seed,
+				// Snappy cadence: the demo runs on the wall clock, so the
+				// default 10 s choke interval would dominate its runtime.
+				ChokeInterval:      time.Second,
+				OptimisticInterval: 2 * time.Second,
+			})
+			if err := c.Start(); err != nil && startErr == nil {
+				startErr = err
+			}
+			clients = append(clients, c)
+			return c
+		}
+		mk(true)
+		for i := 0; i < leeches; i++ {
+			mk(false)
+		}
+	})
+	if startErr != nil {
+		fmt.Printf("wp2p-sim: net demo: %v\n", startErr)
+		return 1
+	}
+
+	start := time.Now()
+	deadline := start.Add(2 * time.Minute)
+	lastLine := ""
+	for {
+		done := 0
+		var have int64
+		group.Do(func() {
+			for _, c := range clients[1:] {
+				if c.Complete() {
+					done++
+				}
+				have += c.Downloaded()
+			}
+		})
+		line := fmt.Sprintf("  %5.1fs  %d/%d leeches complete, %d KB transferred",
+			time.Since(start).Seconds(), done, leeches, have/1024)
+		if line != lastLine {
+			fmt.Println(line)
+			lastLine = line
+		}
+		if done == leeches {
+			fmt.Printf("all leeches complete in %v over real sockets\n",
+				time.Since(start).Round(10*time.Millisecond))
+			return 0
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("wp2p-sim: net demo timed out")
+			return 1
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -36,7 +37,7 @@ func buildSwarm(engine *sim.Engine) (*tcp.Stack, *bt.MetaInfo, *bt.Tracker) {
 	}
 	for i := 0; i < 2; i++ {
 		bt.NewClient(bt.Config{
-			Stack: host(), Torrent: tor, Tracker: tracker, Seed: true,
+			Transport: transport.NewSim(host()), Torrent: tor, Tracker: tracker, Seed: true,
 			UploadLimiter: bt.NewLimiter(engine, 60*netem.KBps), UnchokeSlots: 2,
 		}).Start()
 	}
@@ -48,7 +49,7 @@ func buildSwarm(engine *sim.Engine) (*tcp.Stack, *bt.MetaInfo, *bt.Tracker) {
 			}
 		}
 		bt.NewClient(bt.Config{
-			Stack: host(), Torrent: tor, Tracker: tracker,
+			Transport: transport.NewSim(host()), Torrent: tor, Tracker: tracker,
 			UploadLimiter: bt.NewLimiter(engine, netem.Rate(5+engine.Rand().Int63n(30))*netem.KBps),
 			UnchokeSlots:  2, InitialHave: have,
 		}).Start()
@@ -64,7 +65,7 @@ func fixedCap(cap netem.Rate) float64 {
 	engine := sim.NewEngine(sim.WithSeed(11))
 	laptop, tor, tracker := buildSwarm(engine)
 	c := bt.NewClient(bt.Config{
-		Stack: laptop, Torrent: tor, Tracker: tracker,
+		Transport: transport.NewSim(laptop), Torrent: tor, Tracker: tracker,
 		UploadLimiter: bt.NewLimiter(engine, cap), UnchokeSlots: 2,
 	})
 	c.Start()
@@ -76,7 +77,7 @@ func lihd() float64 {
 	engine := sim.NewEngine(sim.WithSeed(11))
 	laptop, tor, tracker := buildSwarm(engine)
 	c := wp2p.New(wp2p.Config{
-		BT: bt.Config{Stack: laptop, Torrent: tor, Tracker: tracker, UnchokeSlots: 2},
+		BT: bt.Config{Transport: transport.NewSim(laptop), Torrent: tor, Tracker: tracker, UnchokeSlots: 2},
 		LIHD: &wp2p.LIHDConfig{
 			Umax: channelRate, Alpha: 10 * netem.KBps, Beta: 10 * netem.KBps,
 			Period: 30 * time.Second,

@@ -17,6 +17,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -38,11 +39,11 @@ func run(useRR bool) {
 
 	// A slow wired seed keeps the swarm viable; five leeches want the file.
 	bt.NewClient(bt.Config{
-		Stack: host(), Torrent: tor, Tracker: tracker, Seed: true,
+		Transport: transport.NewSim(host()), Torrent: tor, Tracker: tracker, Seed: true,
 		UploadLimiter: bt.NewLimiter(engine, 20*netem.KBps),
 	}).Start()
 	for i := 0; i < 5; i++ {
-		bt.NewClient(bt.Config{Stack: host(), Torrent: tor, Tracker: tracker}).Start()
+		bt.NewClient(bt.Config{Transport: transport.NewSim(host()), Torrent: tor, Tracker: tracker}).Start()
 	}
 
 	// The mobile seed on a WLAN, handing off every 2 minutes.
@@ -53,7 +54,7 @@ func run(useRR bool) {
 	stack := tcp.NewStack(engine, iface, tcp.Config{})
 
 	cfg := wp2p.Config{
-		BT: bt.Config{Stack: stack, Torrent: tor, Tracker: tracker, Seed: true},
+		BT: bt.Config{Transport: transport.NewSim(stack), Torrent: tor, Tracker: tracker, Seed: true},
 	}
 	label := "default (oblivious)"
 	if useRR {

@@ -16,6 +16,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 	"github.com/wp2p/wp2p/internal/wp2p"
 )
 
@@ -31,8 +32,8 @@ func run(useMF bool) {
 			UpRate: 500 * netem.KBps, DownRate: 500 * netem.KBps,
 		})
 		bt.NewClient(bt.Config{
-			Stack:   tcp.NewStack(engine, network.Attach(ip, link, nil), tcp.Config{}),
-			Torrent: video, Tracker: tracker, Seed: true,
+			Transport: transport.NewSim(tcp.NewStack(engine, network.Attach(ip, link, nil), tcp.Config{})),
+			Torrent:   video, Tracker: tracker, Seed: true,
 		}).Start()
 	}
 
@@ -43,7 +44,7 @@ func run(useMF bool) {
 	iface := network.Attach(10, wlan, nil)
 	stack := tcp.NewStack(engine, iface, tcp.Config{})
 
-	cfg := wp2p.Config{BT: bt.Config{Stack: stack, Torrent: video, Tracker: tracker}}
+	cfg := wp2p.Config{BT: bt.Config{Transport: transport.NewSim(stack), Torrent: video, Tracker: tracker}}
 	label := "default (rarest-first)"
 	if useMF {
 		cfg.MF = &wp2p.MFConfig{} // p_r = downloaded fraction

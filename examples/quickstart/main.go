@@ -12,6 +12,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 func main() {
@@ -35,11 +36,11 @@ func main() {
 	// Cap the seed so the leeches have to exchange pieces with each other,
 	// which is the point of the protocol.
 	seed := bt.NewClient(bt.Config{
-		Stack: newHost(1), Torrent: torrent, Tracker: tracker, Seed: true,
+		Transport: transport.NewSim(newHost(1)), Torrent: torrent, Tracker: tracker, Seed: true,
 		UploadLimiter: bt.NewLimiter(engine, 80*netem.KBps),
 	})
-	leechA := bt.NewClient(bt.Config{Stack: newHost(2), Torrent: torrent, Tracker: tracker})
-	leechB := bt.NewClient(bt.Config{Stack: newHost(3), Torrent: torrent, Tracker: tracker})
+	leechA := bt.NewClient(bt.Config{Transport: transport.NewSim(newHost(2)), Torrent: torrent, Tracker: tracker})
+	leechB := bt.NewClient(bt.Config{Transport: transport.NewSim(newHost(3)), Torrent: torrent, Tracker: tracker})
 
 	leechA.OnComplete = func() {
 		fmt.Printf("leech A complete at t=%v\n", engine.Now().Round(time.Millisecond))

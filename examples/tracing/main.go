@@ -17,6 +17,7 @@ import (
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
 	"github.com/wp2p/wp2p/internal/trace"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 func main() {
@@ -30,8 +31,8 @@ func main() {
 		UpRate: 500 * netem.KBps, DownRate: 500 * netem.KBps,
 	})
 	bt.NewClient(bt.Config{
-		Stack:   tcp.NewStack(engine, network.Attach(1, link, nil), tcp.Config{}),
-		Torrent: tor, Tracker: tracker, Seed: true,
+		Transport: transport.NewSim(tcp.NewStack(engine, network.Attach(1, link, nil), tcp.Config{})),
+		Torrent:   tor, Tracker: tracker, Seed: true,
 	}).Start()
 
 	// The mobile host on a lossy WLAN.
@@ -40,8 +41,8 @@ func main() {
 	})
 	iface := network.Attach(10, wlan, nil)
 	leech := bt.NewClient(bt.Config{
-		Stack:   tcp.NewStack(engine, iface, tcp.Config{}),
-		Torrent: tor, Tracker: tracker,
+		Transport: transport.NewSim(tcp.NewStack(engine, iface, tcp.Config{})),
+		Torrent:   tor, Tracker: tracker,
 	})
 	leech.Start()
 

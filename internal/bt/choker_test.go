@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 func TestChokerCreditRanksKnownPeerAfterReconnect(t *testing.T) {
@@ -138,7 +139,7 @@ func TestReconnectWithRetainedIDReplacesZombie(t *testing.T) {
 	env := newSwarmEnv(44, 2*1024*1024, 128*1024)
 	fixed := env.client(Config{Seed: true})
 	stack := env.wiredStack(0, 0)
-	mobile := env.client(Config{Stack: stack})
+	mobile := env.client(Config{Transport: transport.NewSim(stack)})
 	fixed.Start()
 	mobile.Start()
 	env.engine.RunFor(15 * time.Second)

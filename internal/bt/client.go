@@ -9,15 +9,15 @@ import (
 	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/stats"
-	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
-// Config parameterizes a Client. Stack, Torrent, and Tracker are required;
-// everything else has sensible defaults.
+// Config parameterizes a Client. Transport, Torrent, and Tracker are
+// required; everything else has sensible defaults.
 type Config struct {
-	Stack   *tcp.Stack
-	Torrent *MetaInfo
-	Tracker Announcer
+	Transport transport.Interface
+	Torrent   *MetaInfo
+	Tracker   Announcer
 
 	// PeerID is the identity announced to tracker and peers; generated if
 	// empty.
@@ -112,7 +112,7 @@ type pieceProgress struct {
 type Client struct {
 	cfg     Config
 	engine  *sim.Engine
-	stack   *tcp.Stack
+	tr      transport.Interface
 	torrent *MetaInfo
 	tracker Announcer
 	peerID  PeerID
@@ -142,7 +142,7 @@ type Client struct {
 	banned     map[PeerID]bool
 	hashFails  int
 
-	listener       *tcp.Listener
+	listener       transport.Listener
 	chokeTicker    *sim.Ticker
 	sweepTicker    *sim.Ticker
 	announceTicker *sim.Ticker
@@ -186,13 +186,13 @@ func (cs *clientStats) bind(reg *stats.Registry) {
 
 // NewClient builds a client; call Start to join the swarm.
 func NewClient(cfg Config) *Client {
-	if cfg.Stack == nil || cfg.Torrent == nil || cfg.Tracker == nil {
-		panic("bt: Config requires Stack, Torrent, and Tracker")
+	if cfg.Transport == nil || cfg.Torrent == nil || cfg.Tracker == nil {
+		panic("bt: Config requires Transport, Torrent, and Tracker")
 	}
 	c := &Client{
 		cfg:         cfg.withDefaults(),
-		engine:      cfg.Stack.Engine(),
-		stack:       cfg.Stack,
+		engine:      cfg.Transport.Engine(),
+		tr:          cfg.Transport,
 		torrent:     cfg.Torrent,
 		tracker:     cfg.Tracker,
 		completedAt: -1,
@@ -285,7 +285,7 @@ func (c *Client) KnownPeers() []PeerInfo {
 func (c *Client) Ledger() *CreditLedger { return c.ledger }
 
 // Addr returns the client's current announce address.
-func (c *Client) Addr() netem.Addr { return c.stack.Addr(c.cfg.Port) }
+func (c *Client) Addr() netem.Addr { return c.tr.Addr(c.cfg.Port) }
 
 // Restarts counts task re-initiations.
 func (c *Client) Restarts() int { return c.restarts }
@@ -300,19 +300,25 @@ func (c *Client) SetPicker(p Picker) {
 
 // --- lifecycle ---
 
-// Start joins the swarm: listen, announce, and begin the choke loop.
-func (c *Client) Start() {
+// Start joins the swarm: listen, announce, and begin the choke loop. It
+// fails only if the listen port is taken (transport.ErrAddrInUse).
+func (c *Client) Start() error {
 	if c.started {
-		return
+		return nil
+	}
+	l, err := c.tr.Listen(c.cfg.Port, c.onAccept)
+	if err != nil {
+		return fmt.Errorf("bt: start: %w", err)
 	}
 	c.started = true
-	c.listener = c.stack.Listen(c.cfg.Port, c.onAccept)
+	c.listener = l
 	c.chokeTicker = sim.NewTicker(c.engine, c.cfg.ChokeInterval, c.chk.run)
 	c.sweepTicker = sim.NewTicker(c.engine, c.cfg.RequestTimeout/3, c.sweep)
 	c.announceTicker = sim.NewTicker(c.engine, c.tracker.Interval(), func() {
 		c.announce(EventNone)
 	})
 	c.announce(EventStarted)
+	return nil
 }
 
 // Stop leaves the swarm and tears down all connections.
@@ -429,10 +435,15 @@ func (c *Client) maintainConnections() {
 }
 
 func (c *Client) dial(pi PeerInfo) {
-	c.dialing++
 	// Back the address off immediately; a completed handshake clears it.
 	c.backoff[pi.Addr] = c.engine.Now() + c.cfg.DialBackoff
-	conn := c.stack.Dial(pi.Addr)
+	conn, err := c.tr.Dial(pi.Addr)
+	if err != nil {
+		// Local resource exhaustion (no free ephemeral port); the backoff
+		// already set above spaces out the retry.
+		return
+	}
+	c.dialing++
 	p := newPeerConn(c, conn, pi.Addr, false)
 	pendingDial := true
 	settle := func() {
@@ -441,7 +452,7 @@ func (c *Client) dial(pi PeerInfo) {
 			c.dialing--
 		}
 	}
-	conn.OnEstablished = func() {
+	conn.SetOnEstablished(func() {
 		settle()
 		if len(c.peers) >= c.cfg.MaxPeers {
 			p.close()
@@ -449,17 +460,16 @@ func (c *Client) dial(pi PeerInfo) {
 		}
 		c.peers = append(c.peers, p)
 		p.sendHandshake()
-	}
-	prevClose := conn.OnClose
-	conn.OnClose = func(err error) {
-		settle() // dial may fail before ever establishing
-		if prevClose != nil {
-			prevClose(err)
-		}
-	}
+	})
+	// newPeerConn installed the peer teardown handler; wrap it so a dial
+	// that fails before ever establishing still settles the dialing count.
+	conn.SetOnClose(func(err error) {
+		settle()
+		p.onConnClose(err)
+	})
 }
 
-func (c *Client) onAccept(conn *tcp.Conn) {
+func (c *Client) onAccept(conn transport.Conn) {
 	if c.stopped || len(c.peers) >= c.cfg.MaxPeers {
 		conn.Abort()
 		return
@@ -851,9 +861,13 @@ func (c *Client) sweep() {
 func (c *Client) DebugPeers() string {
 	s := ""
 	for _, p := range c.peers {
+		connState := "n/a"
+		if d, ok := p.conn.(transport.ConnDebug); ok {
+			connState = d.DebugState()
+		}
 		s += fmt.Sprintf("[%s in=%v amI=%v pChk=%v amChk=%v pInt=%v reqOut=%d rx=%d conn{%s}]",
 			p.id, p.inbound, p.amInterested, p.peerChoking, p.amChoking, p.peerInterested,
-			p.requestsOut.Len(), p.piecesRcvd, p.conn.DebugState())
+			p.requestsOut.Len(), p.piecesRcvd, connState)
 	}
 	if s == "" {
 		s = "(no peers)"
@@ -865,7 +879,11 @@ func (c *Client) DebugPeers() string {
 func (c *Client) DebugPeerStats() string {
 	s := ""
 	for _, p := range c.peers {
-		st := p.conn.Stats()
+		cs, ok := p.conn.(transport.ConnStats)
+		if !ok {
+			continue // real-socket backend: no modelled TCP counters
+		}
+		st := cs.Stats()
 		s += fmt.Sprintf("[%s pure=%d piggy=%d dupTx=%d dupRx=%d rtx=%d fast=%d rto=%d]",
 			p.id[14:], st.PureAcksSent, st.PiggybackedAcks, st.DupAcksSent, st.DupAcksRcvd, st.Retransmits, st.FastRetransmits, st.Timeouts)
 	}

@@ -6,7 +6,7 @@ import (
 	"github.com/wp2p/wp2p/internal/metrics"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/ordset"
-	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // blockRef names one block of one piece.
@@ -20,7 +20,7 @@ type blockRef struct {
 // estimators, and the request pipelines in both directions.
 type peerConn struct {
 	client  *Client
-	conn    *tcp.Conn
+	conn    transport.Conn
 	addr    netem.Addr // remote wire address
 	inbound bool
 
@@ -62,7 +62,7 @@ type peerConn struct {
 	piecesUnwanted  int64 // blocks received without a matching request
 }
 
-func newPeerConn(c *Client, conn *tcp.Conn, addr netem.Addr, inbound bool) *peerConn {
+func newPeerConn(c *Client, conn transport.Conn, addr netem.Addr, inbound bool) *peerConn {
 	p := &peerConn{
 		client:      c,
 		conn:        conn,
@@ -76,9 +76,9 @@ func newPeerConn(c *Client, conn *tcp.Conn, addr netem.Addr, inbound bool) *peer
 		cancelled:   make(map[blockRef]bool),
 		connectedAt: c.engine.Now(),
 	}
-	conn.OnMessage = p.onMessage
-	conn.OnClose = p.onConnClose
-	conn.OnWritable = p.drainSendQ
+	conn.SetOnMessage(p.onMessage)
+	conn.SetOnClose(p.onConnClose)
+	conn.SetOnWritable(p.drainSendQ)
 	return p
 }
 

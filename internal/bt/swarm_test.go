@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // swarmEnv bundles everything needed to assemble test swarms.
@@ -49,8 +50,8 @@ func (env *swarmEnv) wiredStack(up, down netem.Rate) *tcp.Stack {
 
 // client builds a client on a fresh wired host.
 func (env *swarmEnv) client(cfg Config) *Client {
-	if cfg.Stack == nil {
-		cfg.Stack = env.wiredStack(0, 0)
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewSim(env.wiredStack(0, 0))
 	}
 	cfg.Torrent = env.torrent
 	cfg.Tracker = env.tracker
@@ -277,7 +278,7 @@ func TestHandoffRestartResumesDownload(t *testing.T) {
 	env := newSwarmEnv(10, 1024*1024, 64*1024)
 	seed := env.client(Config{Seed: true})
 	stack := env.wiredStack(0, 0)
-	leech := env.client(Config{Stack: stack})
+	leech := env.client(Config{Transport: transport.NewSim(stack)})
 	seed.Start()
 	leech.Start()
 

@@ -1,12 +1,13 @@
 package ed2k
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
-	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // Wire messages (sizes approximate the eDonkey client protocol).
@@ -101,7 +102,7 @@ type waitSlot struct {
 // peer is one wire connection.
 type peer struct {
 	client  *Client
-	conn    *tcp.Conn
+	conn    transport.Conn
 	addr    netem.Addr
 	hash    ClientHash
 	inbound bool
@@ -119,9 +120,9 @@ type peer struct {
 
 // Config parameterizes a Client.
 type Config struct {
-	Stack  *tcp.Stack
-	Server *Server
-	File   *File
+	Transport transport.Interface
+	Server    *Server
+	File      *File
 
 	// Hash is the persistent identity; generated if empty.
 	Hash ClientHash
@@ -150,7 +151,7 @@ type Config struct {
 type Client struct {
 	cfg    Config
 	engine *sim.Engine
-	stack  *tcp.Stack
+	tr     transport.Interface
 	file   *File
 	server *Server
 	hash   ClientHash
@@ -166,7 +167,7 @@ type Client struct {
 	serving    int // active service sessions
 	peers      []*peer
 	sources    []SourceInfo
-	listener   *tcp.Listener
+	listener   transport.Listener
 	ticker     *sim.Ticker
 
 	downloaded int64
@@ -181,8 +182,8 @@ type Client struct {
 
 // NewClient builds a client; call Start to join the network.
 func NewClient(cfg Config) *Client {
-	if cfg.Stack == nil || cfg.Server == nil || cfg.File == nil {
-		panic("ed2k: Config requires Stack, Server, and File")
+	if cfg.Transport == nil || cfg.Server == nil || cfg.File == nil {
+		panic("ed2k: Config requires Transport, Server, and File")
 	}
 	if cfg.Port == 0 {
 		cfg.Port = 4662
@@ -198,8 +199,8 @@ func NewClient(cfg Config) *Client {
 	}
 	c := &Client{
 		cfg:        cfg,
-		engine:     cfg.Stack.Engine(),
-		stack:      cfg.Stack,
+		engine:     cfg.Transport.Engine(),
+		tr:         cfg.Transport,
 		file:       cfg.File,
 		server:     cfg.Server,
 		hash:       cfg.Hash,
@@ -253,17 +254,23 @@ func (c *Client) QueueLen() int { return len(c.queue) }
 func (c *Client) Restarts() int { return c.restarts }
 
 // Addr returns the client's current address.
-func (c *Client) Addr() netem.Addr { return c.stack.Addr(c.cfg.Port) }
+func (c *Client) Addr() netem.Addr { return c.tr.Addr(c.cfg.Port) }
 
-// Start joins the network: listen, announce, query.
-func (c *Client) Start() {
+// Start joins the network: listen, announce, query. It fails only if the
+// listen port is taken (transport.ErrAddrInUse).
+func (c *Client) Start() error {
 	if c.started {
-		return
+		return nil
+	}
+	l, err := c.tr.Listen(c.cfg.Port, c.onAccept)
+	if err != nil {
+		return fmt.Errorf("ed2k: start: %w", err)
 	}
 	c.started = true
-	c.listener = c.stack.Listen(c.cfg.Port, c.onAccept)
+	c.listener = l
 	c.announceAndQuery()
 	c.ticker = sim.NewTicker(c.engine, c.cfg.QueryInterval, c.announceAndQuery)
+	return nil
 }
 
 // Stop leaves the network.
@@ -338,25 +345,29 @@ func (c *Client) connectSources() {
 }
 
 func (c *Client) dial(src SourceInfo) {
-	conn := c.stack.Dial(src.Addr)
+	conn, err := c.tr.Dial(src.Addr)
+	if err != nil {
+		// No free ephemeral port; the next source query retries.
+		return
+	}
 	p := &peer{client: c, conn: conn, addr: src.Addr, inbound: false, servingChunk: -1, pendingChunk: -1}
-	conn.OnEstablished = func() {
+	conn.SetOnEstablished(func() {
 		c.peers = append(c.peers, p)
 		p.send(msgHello{Hash: c.hash, Chunks: append([]bool(nil), c.chunks...)})
-	}
-	conn.OnMessage = p.onMessage
-	conn.OnClose = func(error) { c.removePeer(p) }
+	})
+	conn.SetOnMessage(p.onMessage)
+	conn.SetOnClose(func(error) { c.removePeer(p) })
 }
 
-func (c *Client) onAccept(conn *tcp.Conn) {
+func (c *Client) onAccept(conn transport.Conn) {
 	if c.stopped {
 		conn.Abort()
 		return
 	}
 	p := &peer{client: c, conn: conn, addr: conn.RemoteAddr(), inbound: true, servingChunk: -1, pendingChunk: -1}
 	c.peers = append(c.peers, p)
-	conn.OnMessage = p.onMessage
-	conn.OnClose = func(error) { c.removePeer(p) }
+	conn.SetOnMessage(p.onMessage)
+	conn.SetOnClose(func(error) { c.removePeer(p) })
 }
 
 func (c *Client) removePeer(p *peer) {

@@ -7,6 +7,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 type env struct {
@@ -38,8 +39,8 @@ func (v *env) stack() *tcp.Stack {
 }
 
 func (v *env) client(cfg Config) *Client {
-	if cfg.Stack == nil {
-		cfg.Stack = v.stack()
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewSim(v.stack())
 	}
 	cfg.Server = v.server
 	cfg.File = v.file

@@ -71,10 +71,10 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		server := ed2k.NewServer(w.Engine, ed2k.ServerConfig{})
 
 		mk := func(c ed2k.Config) *ed2k.Client {
-			if c.Stack == nil {
+			if c.Transport == nil {
 				// Scarce uplinks (cable-modem class) make upload queues the
 				// binding resource, as in real eDonkey swarms.
-				c.Stack = w.WiredHost(netem.Kbps(384), 0).Stack
+				c.Transport = w.WiredHost(netem.Kbps(384), 0).Transport
 			}
 			c.Server = server
 			c.File = file
@@ -97,7 +97,7 @@ func ExtEd2kIdentity(cfg Ed2kConfig) *Result {
 		}
 
 		mobHost := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps})
-		mobile := mk(ed2k.Config{Stack: mobHost.Stack})
+		mobile := mk(ed2k.Config{Transport: mobHost.Transport})
 		mobile.Start()
 
 		h := mobility.NewHandoff(w.Engine, w.Net, mobHost.Iface, mobility.NewIPAllocator(7000), cfg.HandoffPeriod)

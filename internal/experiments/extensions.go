@@ -94,7 +94,7 @@ func AblationWP2P(cfg AblationConfig) *Result {
 		w.PopulateSwarm(tor, SwarmConfig{Seeds: 3, SeedCap: 50 * netem.KBps, Leeches: cfg.Leeches, Slots: 2})
 
 		mob := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps, BER: cfg.BER})
-		base := bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2}
+		base := bt.Config{Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2}
 		client := wp2p.New(v.cfg(base))
 		client.Start()
 
@@ -220,10 +220,10 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 		// Foreground application: a bulk TCP download from a wired server.
 		server := w.WiredHost(0, 0)
 		var fgConn *tcp.Conn
-		server.Stack.Listen(8080, func(c *tcp.Conn) { fgConn = c })
+		server.Stack.MustListen(8080, func(c *tcp.Conn) { fgConn = c })
 		fgRx := metrics.NewRateEstimator(0)
 		var fgTotal int64
-		dl := mob.Stack.Dial(netem.Addr{IP: server.Iface.IP(), Port: 8080})
+		dl := mob.Stack.MustDial(netem.Addr{IP: server.Iface.IP(), Port: 8080})
 		dl.OnDeliver = func(n int) {
 			fgTotal += int64(n)
 			fgRx.Add(w.Engine.Now(), int64(n))
@@ -235,7 +235,7 @@ func ExtSeedLIHD(cfg SeedLIHDConfig) *Result {
 
 		var seedUp func() int64 = func() int64 { return 0 }
 		if seeding {
-			base := bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true, UnchokeSlots: 3}
+			base := bt.Config{Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, Seed: true, UnchokeSlots: 3}
 			if lihd {
 				lim := bt.NewLimiter(w.Engine, cfg.Rate/2)
 				base.UploadLimiter = lim

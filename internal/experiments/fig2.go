@@ -73,8 +73,8 @@ func Fig2aBiVsUniTCP(cfg Fig2aConfig) *Result {
 		}
 		mobile := w.WirelessHost(netem.WirelessConfig{Rate: cfg.Rate, BER: ber})
 		var server *tcp.Conn
-		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
-		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
+		fixed.Stack.MustListen(80, func(c *tcp.Conn) { server = c })
+		client := mobile.Stack.MustDial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
 		w.RunFor(3 * time.Second)
 		if server == nil {
 			return 0
@@ -177,8 +177,8 @@ func Fig2bcPacketsAfterDrop(cfg Fig2bcConfig) *Result {
 		mobile.WLAN.OnDrop(func(*netem.Packet, netem.DropReason) { dropsNow++ })
 
 		var server *tcp.Conn
-		fixed.Stack.Listen(80, func(c *tcp.Conn) { server = c })
-		client := mobile.Stack.Dial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
+		fixed.Stack.MustListen(80, func(c *tcp.Conn) { server = c })
+		client := mobile.Stack.MustDial(netem.Addr{IP: fixed.Iface.IP(), Port: 80})
 		w.RunFor(2 * time.Second)
 		if server == nil {
 			return nil, nil, nil, 0

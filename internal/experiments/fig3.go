@@ -100,7 +100,7 @@ func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64, col *stats.C
 	for task := 0; task < cfg.Tasks; task++ {
 		tor := bt.NewMetaInfo(fmt.Sprintf("task-%d", task), fileSize, 256*1024)
 		seed := bt.NewClient(bt.Config{
-			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Transport: w.WiredHost(0, 0).Transport, Torrent: tor, Tracker: w.Tracker,
 			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, fig3SeedCap),
 			UnchokeSlots: fig3Slots,
 		})
@@ -119,7 +119,7 @@ func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64, col *stats.C
 				up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
 			}
 			l := bt.NewClient(bt.Config{
-				Stack:         w.WiredHost(0, 0).Stack,
+				Transport:     w.WiredHost(0, 0).Transport,
 				Torrent:       tor,
 				Tracker:       w.Tracker,
 				UnchokeSlots:  fig3Slots,
@@ -129,7 +129,7 @@ func uploadCapPoint(cfg Fig3Config, wireless bool, capFrac float64, col *stats.C
 			l.Start()
 		}
 		me := bt.NewClient(bt.Config{
-			Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker,
+			Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker,
 			Port: uint16(6881 + task), UploadLimiter: shared, UnchokeSlots: fig3Slots,
 		})
 		me.Start()
@@ -261,7 +261,7 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 		defer w.Finish(col)
 		tor := bt.NewMetaInfo("fig3c", cfg.FileSize, 256*1024)
 		seed := bt.NewClient(bt.Config{
-			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker,
+			Transport: w.WiredHost(0, 0).Transport, Torrent: tor, Tracker: w.Tracker,
 			Seed: true, UploadLimiter: bt.NewLimiter(w.Engine, fig3SeedCap),
 			UnchokeSlots: fig3Slots,
 		})
@@ -277,7 +277,7 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 				up = netem.Rate(1+w.Engine.Rand().Int63n(3)) * netem.KBps
 			}
 			bt.NewClient(bt.Config{
-				Stack:         w.WiredHost(0, 0).Stack,
+				Transport:     w.WiredHost(0, 0).Transport,
 				Torrent:       tor,
 				Tracker:       w.Tracker,
 				UnchokeSlots:  fig3Slots,
@@ -287,7 +287,7 @@ func Fig3cIncentiveMobility(cfg Fig3cConfig) *Result {
 		}
 		mobHost := w.WirelessHost(netem.WirelessConfig{Rate: 300 * netem.KBps})
 		mobCfg := bt.Config{
-			Stack: mobHost.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: fig3Slots,
+			Transport: mobHost.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: fig3Slots,
 		}
 		if !uploading {
 			mobCfg.UploadLimiter = bt.NewLimiter(w.Engine, 1)

@@ -75,7 +75,7 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 				host = w.WiredHost(300*netem.KBps, 0)
 			}
 			bt.NewClient(bt.Config{
-				Stack: host.Stack, Torrent: tor, Tracker: w.Announcer(host), Seed: true,
+				Transport: host.Transport, Torrent: tor, Tracker: w.Announcer(host), Seed: true,
 			}).Start()
 			if mobile {
 				// Oblivious mobile seed: the client never notices the
@@ -92,7 +92,7 @@ func Fig4aServerMobility(cfg Fig4aConfig) *Result {
 			fixedHost = w.WiredHost(0, 0)
 		}
 		fixed := bt.NewClient(bt.Config{
-			Stack: fixedHost.Stack, Torrent: tor, Tracker: w.Announcer(fixedHost),
+			Transport: fixedHost.Transport, Torrent: tor, Tracker: w.Announcer(fixedHost),
 		})
 		fixed.Start()
 		w.RunFor(cfg.Horizon)
@@ -160,12 +160,12 @@ func playabilityCurve(seed int64, fileSize int64, picker bt.Picker, col *stats.C
 	// Two seeds so rarest-first has realistic availability spread.
 	for i := 0; i < 2; i++ {
 		bt.NewClient(bt.Config{
-			Stack: w.WiredHost(0, 0).Stack, Torrent: tor, Tracker: w.Tracker, Seed: true,
+			Transport: w.WiredHost(0, 0).Transport, Torrent: tor, Tracker: w.Tracker, Seed: true,
 		}).Start()
 	}
 	leech := bt.NewClient(bt.Config{
-		Stack:   w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps}).Stack,
-		Torrent: tor, Tracker: w.Tracker, Picker: picker,
+		Transport: w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps}).Transport,
+		Torrent:   tor, Tracker: w.Tracker, Picker: picker,
 	})
 	curve := media.NewCurve(tor)
 	leech.OnPieceComplete = func(int) { curve.Observe(leech.Have()) }

@@ -81,10 +81,10 @@ func Fig8aAgeBasedManipulation(cfg Fig8aConfig) *Result {
 		wpHost := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps, BER: ber})
 
 		def := bt.NewClient(bt.Config{
-			Stack: defHost.Stack, Torrent: tor, Tracker: w.Tracker, InitialHave: halfA,
+			Transport: defHost.Transport, Torrent: tor, Tracker: w.Tracker, InitialHave: halfA,
 		})
 		wpc := wp2p.New(wp2p.Config{
-			BT: bt.Config{Stack: wpHost.Stack, Torrent: tor, Tracker: w.Tracker, InitialHave: halfB},
+			BT: bt.Config{Transport: wpHost.Transport, Torrent: tor, Tracker: w.Tracker, InitialHave: halfB},
 			AM: &wp2p.AMConfig{},
 		})
 		def.Start()
@@ -216,7 +216,7 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 
 		defHost := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps})
 		def := bt.NewClient(bt.Config{
-			Stack: defHost.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2,
+			Transport: defHost.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2,
 		})
 		def.Start()
 		hDef := mobility.NewHandoff(w.Engine, w.Net, defHost.Iface, mobility.NewIPAllocator(2000), cfg.HandoffPeriod)
@@ -225,7 +225,7 @@ func Fig8bIdentityRetention(cfg Fig8bConfig) *Result {
 
 		wpHost := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps})
 		wpc := wp2p.New(wp2p.Config{
-			BT:             bt.Config{Stack: wpHost.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2},
+			BT:             bt.Config{Transport: wpHost.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2},
 			RR:             &wp2p.RRConfig{},
 			RetainIdentity: true,
 		})
@@ -331,7 +331,7 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 		mob := w.WirelessHost(netem.WirelessConfig{Rate: bw})
 		if lihd {
 			c := wp2p.New(wp2p.Config{
-				BT: bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2},
+				BT: bt.Config{Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2},
 				// α = β = 10 KBps as in the paper; a 30 s control window
 				// spans the tit-for-tat reaction lag (choke rounds + rate
 				// windows), so the controller sees the reward of its own
@@ -346,7 +346,7 @@ func Fig8cLIHD(cfg Fig8cConfig) *Result {
 			return float64(c.BT.Downloaded()) / cfg.Duration.Seconds()
 		}
 		c := bt.NewClient(bt.Config{
-			Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2,
+			Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, UnchokeSlots: 2,
 		})
 		c.Start()
 		w.RunFor(cfg.Duration)

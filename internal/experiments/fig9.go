@@ -105,7 +105,7 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 		var uploaded func() int64
 		if useRR {
 			c := wp2p.New(wp2p.Config{
-				BT:             bt.Config{Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true},
+				BT:             bt.Config{Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, Seed: true},
 				RR:             &wp2p.RRConfig{},
 				RetainIdentity: true,
 			})
@@ -113,7 +113,7 @@ func Fig9cRoleReversal(cfg Fig9cConfig) *Result {
 			uploaded = c.BT.Uploaded
 		} else {
 			c := bt.NewClient(bt.Config{
-				Stack: mob.Stack, Torrent: tor, Tracker: w.Tracker, Seed: true,
+				Transport: mob.Transport, Torrent: tor, Tracker: w.Tracker, Seed: true,
 			})
 			c.Start()
 			uploaded = c.Uploaded

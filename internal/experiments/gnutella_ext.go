@@ -70,9 +70,9 @@ func ExtGnutellaServerMobility(cfg GnutellaConfig) *Result {
 			} else {
 				h = w.WiredHost(up, 0)
 			}
-			cfg2.Stack = h.Stack
+			cfg2.Transport = h.Transport
 			n := gnutella.NewNode(cfg2)
-			n.Start()
+			mustStart(n.Start())
 			return n, h
 		}
 		searcher, _ := mkNode(0, gnutella.Config{StallTimeout: 15 * time.Second})

@@ -91,8 +91,8 @@ func TestFluidBoundaryBytesDelivered(t *testing.T) {
 		}
 		client := w.WirelessHost(netem.WirelessConfig{Rate: 400 * netem.KBps})
 		var conn *tcp.Conn
-		server.Stack.Listen(80, func(c *tcp.Conn) { conn = c })
-		cl := client.Stack.Dial(netem.Addr{IP: server.Iface.IP(), Port: 80})
+		server.Stack.MustListen(80, func(c *tcp.Conn) { conn = c })
+		cl := client.Stack.MustDial(netem.Addr{IP: server.Iface.IP(), Port: 80})
 		w.RunFor(2 * time.Second)
 		if conn == nil {
 			t.Fatal("connection not established")

@@ -32,13 +32,13 @@ func TestShardedWorldDownloadSmoke(t *testing.T) {
 		h := w.WiredHost(0, 0)
 		shards[h.Shard] = true
 		bt.NewClient(bt.Config{
-			Stack: h.Stack, Torrent: tor, Tracker: w.Announcer(h), Seed: true,
+			Transport: h.Transport, Torrent: tor, Tracker: w.Announcer(h), Seed: true,
 		}).Start()
 	}
 	lh := w.WiredHost(0, 0)
 	shards[lh.Shard] = true
 	leech := bt.NewClient(bt.Config{
-		Stack: lh.Stack, Torrent: tor, Tracker: w.Announcer(lh),
+		Transport: lh.Transport, Torrent: tor, Tracker: w.Announcer(lh),
 	})
 	leech.Start()
 

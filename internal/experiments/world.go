@@ -16,6 +16,7 @@ import (
 	"github.com/wp2p/wp2p/internal/tcp"
 	"github.com/wp2p/wp2p/internal/telemetry"
 	"github.com/wp2p/wp2p/internal/trace"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // World bundles a simulation universe for one experiment run: engine,
@@ -337,14 +338,17 @@ func (w *World) NextIP() netem.IP {
 // path); all of the host's model code — timers, limiters, mobility — must
 // schedule there.
 type Host struct {
-	Stack  *tcp.Stack
-	Iface  *netem.Iface
-	Link   *netem.AccessLink      // non-nil for packet-level wired hosts
-	Flow   *flow.Link             // non-nil for fluid (flow-fidelity) wired hosts
-	WLAN   *netem.WirelessChannel // non-nil for wireless hosts
-	Engine *sim.Engine
-	Net    *netem.Network
-	Shard  int
+	Stack *tcp.Stack
+	// Transport is the stack behind the protocol-facing seam (a
+	// transport.Sim adapter over Stack); protocol configs take this.
+	Transport transport.Interface
+	Iface     *netem.Iface
+	Link      *netem.AccessLink      // non-nil for packet-level wired hosts
+	Flow      *flow.Link             // non-nil for fluid (flow-fidelity) wired hosts
+	WLAN      *netem.WirelessChannel // non-nil for wireless hosts
+	Engine    *sim.Engine
+	Net       *netem.Network
+	Shard     int
 }
 
 // Fidelity values select how a wired host's bulk transfers are modelled:
@@ -380,14 +384,7 @@ func (w *World) WiredHostLink(cfg netem.AccessLinkConfig) *Host {
 		trace.WatchLink(rec, fmt.Sprintf("wired.%d", ip), link)
 		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
 	}
-	return &Host{
-		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
-		Iface:  iface,
-		Link:   link,
-		Engine: eng,
-		Net:    net,
-		Shard:  shard,
-	}
+	return newHost(eng, net, iface, shard, func(h *Host) { h.Link = link })
 }
 
 // flowFabric returns the shard's fluid fabric, building it on first use.
@@ -437,14 +434,7 @@ func (w *World) FluidHost(cfg netem.AccessLinkConfig) *Host {
 	if rec := w.recFor(shard); rec != nil {
 		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
 	}
-	return &Host{
-		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
-		Iface:  iface,
-		Flow:   link,
-		Engine: eng,
-		Net:    net,
-		Shard:  shard,
-	}
+	return newHost(eng, net, iface, shard, func(h *Host) { h.Flow = link })
 }
 
 // DefaultWirelessOverhead is the per-packet channel-access cost used for
@@ -475,20 +465,38 @@ func (w *World) WirelessHost(cfg netem.WirelessConfig) *Host {
 		trace.WatchWireless(rec, fmt.Sprintf("wlan.%d", ip), ch)
 		trace.WatchIface(rec, fmt.Sprintf("host.%d", ip), iface)
 	}
-	return &Host{
-		Stack:  tcp.NewStack(eng, iface, tcp.Config{}),
-		Iface:  iface,
-		WLAN:   ch,
-		Engine: eng,
-		Net:    net,
-		Shard:  shard,
+	return newHost(eng, net, iface, shard, func(h *Host) { h.WLAN = ch })
+}
+
+// newHost builds a Host around a fresh modelled stack, wiring the transport
+// seam, and lets fill attach the medium-specific handle.
+func newHost(eng *sim.Engine, net *netem.Network, iface *netem.Iface, shard int, fill func(*Host)) *Host {
+	stack := tcp.NewStack(eng, iface, tcp.Config{})
+	h := &Host{
+		Stack:     stack,
+		Transport: transport.NewSim(stack),
+		Iface:     iface,
+		Engine:    eng,
+		Net:       net,
+		Shard:     shard,
 	}
+	fill(h)
+	return h
 }
 
 // BTConfig builds a client config bound to this world's tracker (through the
 // host's shard-appropriate announcer).
 func (w *World) BTConfig(h *Host, torrent *bt.MetaInfo) bt.Config {
-	return bt.Config{Stack: h.Stack, Torrent: torrent, Tracker: w.Announcer(h)}
+	return bt.Config{Transport: h.Transport, Torrent: torrent, Tracker: w.Announcer(h)}
+}
+
+// mustStart is the experiment layer's one fatal path for protocol Start
+// errors: world construction assigns every host a unique port space, so a
+// failure here is a programming error, not a runtime condition.
+func mustStart(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 // Scaled multiplies n by scale with a floor of lo — the sizing rule every
@@ -542,11 +550,11 @@ func (w *World) PopulateSwarm(tor *bt.MetaInfo, cfg SwarmConfig) []*bt.Client {
 	for i := 0; i < cfg.Seeds; i++ {
 		h := w.WiredHost(0, 0)
 		c := bt.NewClient(bt.Config{
-			Stack: h.Stack, Torrent: tor, Tracker: w.Announcer(h),
+			Transport: h.Transport, Torrent: tor, Tracker: w.Announcer(h),
 			Seed: true, UploadLimiter: bt.NewLimiter(h.Engine, cfg.SeedCap),
 			UnchokeSlots: cfg.Slots,
 		})
-		c.Start()
+		mustStart(c.Start())
 		out = append(out, c)
 	}
 	for i := 0; i < cfg.Leeches; i++ {
@@ -558,14 +566,14 @@ func (w *World) PopulateSwarm(tor *bt.MetaInfo, cfg SwarmConfig) []*bt.Client {
 		}
 		h := w.WiredHost(0, 0)
 		c := bt.NewClient(bt.Config{
-			Stack:         h.Stack,
+			Transport:     h.Transport,
 			Torrent:       tor,
 			Tracker:       w.Announcer(h),
 			UnchokeSlots:  cfg.Slots,
 			UploadLimiter: bt.NewLimiter(h.Engine, up),
 			InitialHave:   randomHave(w, tor, 0.3+0.5*w.Engine.Rand().Float64()),
 		})
-		c.Start()
+		mustStart(c.Start())
 		out = append(out, c)
 	}
 	return out

@@ -20,7 +20,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/ordset"
 	"github.com/wp2p/wp2p/internal/sim"
-	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // NodeID identifies an overlay node.
@@ -99,7 +99,7 @@ const (
 
 // Config parameterizes a Node.
 type Config struct {
-	Stack *tcp.Stack
+	Transport transport.Interface
 	// ID is generated if empty.
 	ID NodeID
 	// Port is the listening port (default 6346).
@@ -120,7 +120,7 @@ type Config struct {
 type Node struct {
 	cfg    Config
 	engine *sim.Engine
-	stack  *tcp.Stack
+	tr     transport.Interface
 	id     NodeID
 
 	neighbors []*link
@@ -134,7 +134,7 @@ type Node struct {
 	searches    map[uint64]*search
 	downloads   map[FileKey]*download
 
-	listener *tcp.Listener
+	listener transport.Listener
 	started  bool
 	stopped  bool
 
@@ -148,7 +148,7 @@ type Node struct {
 // link is one neighbor (overlay) connection.
 type link struct {
 	node   *Node
-	conn   *tcp.Conn
+	conn   transport.Conn
 	closed bool
 }
 
@@ -165,7 +165,7 @@ type download struct {
 	key      FileKey
 	size     int64
 	got      int64 // contiguous bytes from the head (sequential fetch)
-	conn     *tcp.Conn
+	conn     transport.Conn
 	source   netem.Addr
 	active   bool
 	lastData time.Duration
@@ -175,8 +175,8 @@ type download struct {
 // NewNode builds a node; call Start, then ConnectNeighbor to join the
 // overlay.
 func NewNode(cfg Config) *Node {
-	if cfg.Stack == nil {
-		panic("gnutella: Config requires Stack")
+	if cfg.Transport == nil {
+		panic("gnutella: Config requires Transport")
 	}
 	if cfg.Port == 0 {
 		cfg.Port = DefaultPort
@@ -192,8 +192,8 @@ func NewNode(cfg Config) *Node {
 	}
 	n := &Node{
 		cfg:       cfg,
-		engine:    cfg.Stack.Engine(),
-		stack:     cfg.Stack,
+		engine:    cfg.Transport.Engine(),
+		tr:        cfg.Transport,
 		id:        cfg.ID,
 		shared:    make(map[FileKey]int64),
 		seenQuery: make(map[uint64]bool),
@@ -211,7 +211,7 @@ func NewNode(cfg Config) *Node {
 func (n *Node) ID() NodeID { return n.id }
 
 // Addr returns the node's current service address.
-func (n *Node) Addr() netem.Addr { return n.stack.Addr(n.cfg.Port) }
+func (n *Node) Addr() netem.Addr { return n.tr.Addr(n.cfg.Port) }
 
 // Share registers a complete file this node serves.
 func (n *Node) Share(s Shared) { n.shared[s.Key] = s.Size }
@@ -248,14 +248,20 @@ func (n *Node) Neighbors() int {
 	return live
 }
 
-// Start begins listening for overlay links and download requests.
-func (n *Node) Start() {
+// Start begins listening for overlay links and download requests. It fails
+// only if the listen port is taken (transport.ErrAddrInUse).
+func (n *Node) Start() error {
 	if n.started {
-		return
+		return nil
+	}
+	l, err := n.tr.Listen(n.cfg.Port, n.accept)
+	if err != nil {
+		return fmt.Errorf("gnutella: start: %w", err)
 	}
 	n.started = true
-	n.listener = n.stack.Listen(n.cfg.Port, n.accept)
+	n.listener = l
 	sim.NewTicker(n.engine, n.cfg.StallTimeout/2, n.checkStalls)
+	return nil
 }
 
 // Stop leaves the overlay.
@@ -274,11 +280,14 @@ func (n *Node) Stop() {
 
 // ConnectNeighbor opens an overlay link to another node's address.
 func (n *Node) ConnectNeighbor(addr netem.Addr) {
-	conn := n.stack.Dial(addr)
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return // no free ephemeral port; the overlay stays as it is
+	}
 	n.attach(conn)
 }
 
-func (n *Node) accept(conn *tcp.Conn) {
+func (n *Node) accept(conn transport.Conn) {
 	if n.stopped {
 		conn.Abort()
 		return
@@ -286,11 +295,11 @@ func (n *Node) accept(conn *tcp.Conn) {
 	n.attach(conn)
 }
 
-func (n *Node) attach(conn *tcp.Conn) {
+func (n *Node) attach(conn transport.Conn) {
 	l := &link{node: n, conn: conn}
 	n.neighbors = append(n.neighbors, l)
-	conn.OnMessage = func(v any) { n.onMessage(l, v) }
-	conn.OnClose = func(error) {
+	conn.SetOnMessage(func(v any) { n.onMessage(l, v) })
+	conn.SetOnClose(func(error) {
 		l.closed = true
 		for i, q := range n.neighbors {
 			if q == l {
@@ -298,7 +307,7 @@ func (n *Node) attach(conn *tcp.Conn) {
 				break
 			}
 		}
-	}
+	})
 }
 
 func (l *link) send(m gWireMsg) {
@@ -415,10 +424,15 @@ func (n *Node) fetchFrom(d *download, src netem.Addr) {
 	d.source = src
 	d.tried[src] = true
 	d.lastData = n.engine.Now()
-	conn := n.stack.Dial(src)
+	conn, err := n.tr.Dial(src)
+	if err != nil {
+		d.active = false
+		n.retrySearch(d)
+		return
+	}
 	d.conn = conn
-	conn.OnEstablished = func() { n.requestNext(d) }
-	conn.OnMessage = func(v any) {
+	conn.SetOnEstablished(func() { n.requestNext(d) })
+	conn.SetOnMessage(func(v any) {
 		m, ok := v.(msgData)
 		if !ok || m.Key != d.key {
 			return
@@ -437,13 +451,13 @@ func (n *Node) fetchFrom(d *download, src netem.Addr) {
 			}
 			n.requestNext(d)
 		}
-	}
-	conn.OnClose = func(error) {
+	})
+	conn.SetOnClose(func(error) {
 		if d.active {
 			d.active = false
 			n.retrySearch(d)
 		}
-	}
+	})
 }
 
 func (n *Node) requestNext(d *download) {

@@ -8,6 +8,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 type env struct {
@@ -36,9 +37,11 @@ func (v *env) nodeUp(cfg Config, up netem.Rate) (*Node, *netem.Iface) {
 		UpRate: up, DownRate: 1 * netem.MBps, Delay: time.Millisecond,
 	})
 	iface := v.net.Attach(ip, link, nil)
-	cfg.Stack = tcp.NewStack(v.engine, iface, tcp.Config{})
+	cfg.Transport = transport.NewSim(tcp.NewStack(v.engine, iface, tcp.Config{}))
 	n := NewNode(cfg)
-	n.Start()
+	if err := n.Start(); err != nil {
+		panic(err)
+	}
 	return n, iface
 }
 

@@ -285,7 +285,7 @@ func (c *compiled) buildClient(inst *instance) {
 	switch c.spec.Workload.Protocol {
 	case ProtoBT:
 		cfg := bt.Config{
-			Stack: inst.host.Stack, Torrent: c.tor, Tracker: c.w.Announcer(inst.host),
+			Transport: inst.host.Transport, Torrent: c.tor, Tracker: c.w.Announcer(inst.host),
 			Seed:         g.Role == RoleSeed,
 			UnchokeSlots: g.UnchokeSlots,
 		}
@@ -319,7 +319,7 @@ func (c *compiled) buildClient(inst *instance) {
 		inst.bt = inst.wp.BT
 	case ProtoEd2k:
 		cfg := ed2k.Config{
-			Stack: inst.host.Stack, Server: c.edSrv, File: c.edFile,
+			Transport: inst.host.Transport, Server: c.edSrv, File: c.edFile,
 			Seed:          g.Role == RoleSeed,
 			UploadSlots:   g.UnchokeSlots,
 			QueryInterval: c.spec.AnnounceInterval.D(),
@@ -333,7 +333,7 @@ func (c *compiled) buildClient(inst *instance) {
 		}
 		inst.ed = ed2k.NewClient(cfg)
 	case ProtoGnutella:
-		inst.gn = gnutella.NewNode(gnutella.Config{Stack: inst.host.Stack})
+		inst.gn = gnutella.NewNode(gnutella.Config{Transport: inst.host.Transport})
 	}
 }
 
@@ -358,15 +358,22 @@ func (inst *instance) start(c *compiled) {
 	if inst.handoff != nil && inst.group.Mobility.Period > 0 && !inst.handoff.Running() {
 		defer inst.handoff.Start()
 	}
+	// Scenario worlds assign every instance its own host, so a listen
+	// conflict is a compiler bug; fail loudly with the offending instance.
+	mustStart := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("scenario: start %s: %v", inst.group.Name, err))
+		}
+	}
 	switch {
 	case inst.wp != nil:
-		inst.wp.Start()
+		mustStart(inst.wp.Start())
 	case inst.bt != nil:
-		inst.bt.Start()
+		mustStart(inst.bt.Start())
 	case inst.ed != nil:
-		inst.ed.Start()
+		mustStart(inst.ed.Start())
 	case inst.gn != nil:
-		inst.gn.Start()
+		mustStart(inst.gn.Start())
 		if inst.group.Role == RoleSeed {
 			inst.gn.Share(gnutella.Shared{
 				Key:  gnutella.FileKey(c.spec.contentName()),

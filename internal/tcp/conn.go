@@ -118,6 +118,25 @@ type Conn struct {
 	stats Stats
 }
 
+// Callback setters. They mirror the public fields so *Conn satisfies the
+// transport.Conn interface — protocol code written against the transport
+// seam uses these; sim-internal code may keep assigning the fields.
+
+// SetOnEstablished sets the handshake-completion callback.
+func (c *Conn) SetOnEstablished(fn func()) { c.OnEstablished = fn }
+
+// SetOnDeliver sets the in-order-payload callback.
+func (c *Conn) SetOnDeliver(fn func(n int)) { c.OnDeliver = fn }
+
+// SetOnMessage sets the framed-message callback.
+func (c *Conn) SetOnMessage(fn func(val any)) { c.OnMessage = fn }
+
+// SetOnClose sets the teardown-notify callback.
+func (c *Conn) SetOnClose(fn func(err error)) { c.OnClose = fn }
+
+// SetOnWritable sets the send-buffer-drained callback.
+func (c *Conn) SetOnWritable(fn func()) { c.OnWritable = fn }
+
 // interval is a half-open byte range [start, end).
 type interval struct{ start, end int64 }
 

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -47,12 +48,12 @@ func TestListenerCloseStopsAccepting(t *testing.T) {
 	w := newWorld(61)
 	sa, sb := w.wiredHost(1), w.wiredHost(2)
 	accepted := 0
-	l := sb.Listen(80, func(c *Conn) { accepted++ })
-	c1 := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	l := sb.MustListen(80, func(c *Conn) { accepted++ })
+	c1 := sa.MustDial(netem.Addr{IP: 2, Port: 80})
 	w.engine.RunFor(time.Second)
 	l.Close()
 	var refused error
-	c2 := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	c2 := sa.MustDial(netem.Addr{IP: 2, Port: 80})
 	c2.OnClose = func(err error) { refused = err }
 	w.engine.RunFor(2 * time.Second)
 	if accepted != 1 {
@@ -66,25 +67,76 @@ func TestListenerCloseStopsAccepting(t *testing.T) {
 	}
 }
 
-func TestDuplicatePortListenPanics(t *testing.T) {
+func TestDuplicatePortListen(t *testing.T) {
 	w := newWorld(62)
 	sa := w.wiredHost(1)
-	sa.Listen(80, nil)
+	sa.MustListen(80, nil)
+	if _, err := sa.Listen(80, nil); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate Listen = %v, want ErrAddrInUse", err)
+	}
+	// MustListen is the one explicit fatal path for construction code.
 	defer func() {
 		if recover() == nil {
-			t.Error("duplicate Listen did not panic")
+			t.Error("duplicate MustListen did not panic")
 		}
 	}()
-	sa.Listen(80, nil)
+	sa.MustListen(80, nil)
+}
+
+// TestListenReuseAfterClose pins the addr-reuse contract: closing a
+// listener frees the port for a fresh Listen, and the fresh listener — not
+// the stale closed one — receives subsequent accepts.
+func TestListenReuseAfterClose(t *testing.T) {
+	w := newWorld(64)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	stale, fresh := 0, 0
+	l1 := sb.MustListen(80, func(c *Conn) { stale++ })
+	l1.Close()
+	if _, err := sb.Listen(80, func(c *Conn) { fresh++ }); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	// Closing the stale handle again must not evict the fresh listener.
+	l1.Close()
+	sa.MustDial(netem.Addr{IP: 2, Port: 80})
+	w.engine.RunFor(time.Second)
+	if stale != 0 || fresh != 1 {
+		t.Errorf("accepts after rebind: stale=%d fresh=%d, want 0/1", stale, fresh)
+	}
+}
+
+// TestListenerCloseResetsInFlightSYN is the in-flight-SYN regression test:
+// a SYN already on the wire when the listener closes must be refused with a
+// RST — never accepted through the stale onAccept.
+func TestListenerCloseResetsInFlightSYN(t *testing.T) {
+	w := newWorld(65)
+	sa, sb := w.wiredHost(1), w.wiredHost(2)
+	accepted := 0
+	l := sb.MustListen(80, func(c *Conn) { accepted++ })
+	// Dial now: the SYN is queued on the wire ...
+	c := sa.MustDial(netem.Addr{IP: 2, Port: 80})
+	var closeErr error
+	c.OnClose = func(err error) { closeErr = err }
+	// ... and the listener closes before it arrives.
+	l.Close()
+	w.engine.RunFor(2 * time.Second)
+	if accepted != 0 {
+		t.Fatalf("stale onAccept ran %d times after Close", accepted)
+	}
+	if !errors.Is(closeErr, ErrReset) {
+		t.Errorf("in-flight SYN close error = %v, want ErrReset", closeErr)
+	}
+	if c.State() != StateClosed {
+		t.Errorf("dialer state = %v, want closed", c.State())
+	}
 }
 
 func TestEphemeralPortsSkipListeners(t *testing.T) {
 	w := newWorld(63)
 	sa := w.wiredHost(1)
-	sa.Listen(49153, nil) // inside the ephemeral range
+	sa.MustListen(49153, nil) // inside the ephemeral range
 	seen := map[uint16]bool{}
 	for i := 0; i < 100; i++ {
-		c := sa.Dial(netem.Addr{IP: 99, Port: 1})
+		c := sa.MustDial(netem.Addr{IP: 99, Port: 1})
 		p := c.LocalAddr().Port
 		if p == 49153 {
 			t.Fatal("ephemeral allocation returned a listening port")

@@ -106,8 +106,8 @@ func TestPropertyMessagesReliableUnderLoss(t *testing.T) {
 		sb, _ := w.wirelessHost(2, netem.WirelessConfig{Rate: 500 * netem.KBps, BER: 3e-6})
 		b := sb
 		var server *Conn
-		b.Listen(80, func(c *Conn) { server = c })
-		client := sa.Dial(netem.Addr{IP: 2, Port: 80})
+		b.MustListen(80, func(c *Conn) { server = c })
+		client := sa.MustDial(netem.Addr{IP: 2, Port: 80})
 		w.engine.RunFor(5 * time.Second)
 		if server == nil {
 			// Handshake lost repeatedly is possible but should recover.

@@ -143,8 +143,8 @@ func BenchmarkSendAckCycle(b *testing.B) {
 	w := newWorld(45)
 	sa, sb := w.wiredHost(1), w.wiredHost(2)
 	var server *Conn
-	sb.Listen(80, func(c *Conn) { server = c })
-	client := sa.Dial(netem.Addr{IP: 2, Port: 80})
+	sb.MustListen(80, func(c *Conn) { server = c })
+	client := sa.MustDial(netem.Addr{IP: 2, Port: 80})
 	w.engine.RunFor(2 * time.Second)
 	if client.State() != StateEstablished || server == nil {
 		b.Fatal("not established")

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -10,9 +11,13 @@ import (
 func TestAllocPortSkipsListeners(t *testing.T) {
 	w := newWorld(20)
 	s := w.wiredHost(1)
-	s.Listen(ephemeralBase, func(c *Conn) {})
-	s.Listen(ephemeralBase+1, func(c *Conn) {})
-	if p := s.allocPort(); p != ephemeralBase+2 {
+	s.MustListen(ephemeralBase, func(c *Conn) {})
+	s.MustListen(ephemeralBase+1, func(c *Conn) {})
+	p, err := s.allocPort()
+	if err != nil {
+		t.Fatalf("allocPort: %v", err)
+	}
+	if p != ephemeralBase+2 {
 		t.Errorf("allocPort = %d, want %d (listener ports skipped)", p, ephemeralBase+2)
 	}
 }
@@ -32,13 +37,15 @@ func TestAllocPortWraparoundSkipsLivePorts(t *testing.T) {
 
 	// Exhaust the counter so the next allocation wraps onto c1's port.
 	a.nextPort = 0xffff
-	a.allocPort() // 65535
+	if _, err := a.allocPort(); err != nil { // 65535
+		t.Fatalf("allocPort: %v", err)
+	}
 	// The wrapped counter now points at ephemeralBase == c1's local port.
 	if a.nextPort != ephemeralBase {
 		t.Fatalf("counter after wrap = %d, want %d", a.nextPort, ephemeralBase)
 	}
 
-	c2 := a.Dial(netem.Addr{IP: 2, Port: 80})
+	c2 := a.MustDial(netem.Addr{IP: 2, Port: 80})
 	w.engine.RunFor(2 * time.Second)
 	if c2.State() != StateEstablished {
 		t.Fatalf("post-wrap dial not established: %v", c2.State())
@@ -65,9 +72,9 @@ func TestAllocPortReleasesClosedPorts(t *testing.T) {
 	// closing, and re-dialing forever must not exhaust the space.
 	w := newWorld(22)
 	a, b := w.wiredHost(1), w.wiredHost(2)
-	b.Listen(80, func(c *Conn) {})
+	b.MustListen(80, func(c *Conn) {})
 	for i := 0; i < 5; i++ {
-		c := a.Dial(netem.Addr{IP: 2, Port: 80})
+		c := a.MustDial(netem.Addr{IP: 2, Port: 80})
 		w.engine.RunFor(2 * time.Second)
 		if c.State() != StateEstablished {
 			t.Fatalf("dial %d not established", i)
@@ -85,17 +92,56 @@ func TestAllocPortReleasesClosedPorts(t *testing.T) {
 	}
 }
 
-func TestAllocPortExhaustionPanics(t *testing.T) {
+func TestAllocPortExhaustionReturnsError(t *testing.T) {
 	w := newWorld(23)
 	s := w.wiredHost(1)
 	// Mark every ephemeral port as in use.
 	for p := uint32(ephemeralBase); p <= 0xffff; p++ {
-		s.Listen(uint16(p), func(c *Conn) {})
+		s.MustListen(uint16(p), func(c *Conn) {})
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("allocPort did not panic with the port space exhausted")
+	if _, err := s.allocPort(); !errors.Is(err, ErrPortExhausted) {
+		t.Errorf("allocPort with full port space = %v, want ErrPortExhausted", err)
+	}
+	if _, err := s.Dial(netem.Addr{IP: 2, Port: 80}); !errors.Is(err, ErrPortExhausted) {
+		t.Errorf("Dial with full port space = %v, want ErrPortExhausted", err)
+	}
+}
+
+// TestDialChurnPastPortSpace is the regression test for the exhaustion
+// contract: a client that dials and closes for longer than the 16K
+// ephemeral range must keep getting fresh ports (reuse after teardown), and
+// the moment the range genuinely fills the stack must report
+// ErrPortExhausted instead of panicking.
+func TestDialChurnPastPortSpace(t *testing.T) {
+	w := newWorld(24)
+	a, b := w.wiredHost(1), w.wiredHost(2)
+	b.MustListen(80, func(c *Conn) {})
+
+	// Churn past the port space: more dial/abort cycles than there are
+	// ephemeral ports. Abort tears down both ends within a few RTTs, so the
+	// ports recycle and every dial must succeed.
+	const cycles = (1 << 14) + 64
+	for i := 0; i < cycles; i++ {
+		c, err := a.Dial(netem.Addr{IP: 2, Port: 80})
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
 		}
-	}()
-	s.allocPort()
+		w.engine.RunFor(time.Second)
+		c.Abort()
+		w.engine.RunFor(time.Second)
+	}
+	if a.NumConns() != 0 {
+		t.Fatalf("%d conns leaked during churn", a.NumConns())
+	}
+
+	// Now pin every port with a live dial (no teardown): the first 1<<14
+	// dials get the whole range, the next must fail gracefully.
+	for i := 0; i < 1<<14; i++ {
+		if _, err := a.Dial(netem.Addr{IP: 2, Port: 80}); err != nil {
+			t.Fatalf("dial %d with %d ports free: %v", i, 1<<14-i, err)
+		}
+	}
+	if _, err := a.Dial(netem.Addr{IP: 2, Port: 80}); !errors.Is(err, ErrPortExhausted) {
+		t.Fatalf("dial past full range = %v, want ErrPortExhausted", err)
+	}
 }

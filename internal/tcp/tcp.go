@@ -42,6 +42,16 @@ var (
 	ErrClosed = errors.New("tcp: connection closed")
 )
 
+// Errors returned by Listen and Dial. They mirror what a real-socket
+// backend reports (EADDRINUSE, ephemeral range exhaustion), so protocol
+// code written against the sim contract degrades the same way live.
+var (
+	// ErrAddrInUse indicates the listen port is already taken.
+	ErrAddrInUse = errors.New("tcp: address already in use")
+	// ErrPortExhausted indicates no ephemeral port is free for a dial.
+	ErrPortExhausted = errors.New("tcp: ephemeral port space exhausted")
+)
+
 // Segment is the TCP payload carried inside a netem.Packet. Sequence and
 // acknowledgement numbers count stream bytes from zero.
 type Segment struct {
@@ -295,33 +305,69 @@ type Listener struct {
 	closed   bool
 }
 
-// Listen opens a listener on port. It panics if the port is taken, which is
-// always a scenario construction bug.
-func (s *Stack) Listen(port uint16, onAccept func(*Conn)) *Listener {
+// Listen opens a listener on port. It returns ErrAddrInUse (wrapped with
+// the port) if the port is taken — the same contract a real socket backend
+// reports as EADDRINUSE.
+func (s *Stack) Listen(port uint16, onAccept func(*Conn)) (*Listener, error) {
 	if _, ok := s.listeners[port]; ok {
-		panic(fmt.Sprintf("tcp: port %d already listening", port))
+		return nil, fmt.Errorf("tcp: listen port %d: %w", port, ErrAddrInUse)
 	}
 	l := &Listener{stack: s, port: port, onAccept: onAccept}
 	s.listeners[port] = l
+	return l, nil
+}
+
+// MustListen is Listen for sim-world construction paths, where a taken port
+// is a scenario construction bug: it panics on error. This is the one
+// explicit fatal path; protocol code must use Listen and handle the error.
+func (s *Stack) MustListen(port uint16, onAccept func(*Conn)) *Listener {
+	l, err := s.Listen(port, onAccept)
+	if err != nil {
+		panic(err)
+	}
 	return l
 }
 
-// Close stops accepting connections. Established connections are unaffected.
+// Port returns the port the listener is bound to.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Close stops accepting connections. Established connections are unaffected;
+// a SYN arriving after Close is refused with a RST (the dispatch path no
+// longer finds the listener, so the stale onAccept can never run).
 func (l *Listener) Close() {
 	if !l.closed {
 		l.closed = true
-		delete(l.stack.listeners, l.port)
+		// Remove only our own registration: if the port was somehow re-bound
+		// the newer listener must not be evicted by a stale handle.
+		if l.stack.listeners[l.port] == l {
+			delete(l.stack.listeners, l.port)
+		}
 	}
 }
 
 // Dial opens a connection to remote from an ephemeral local port and sends
 // the initial SYN. Callbacks should be set on the returned Conn before the
-// simulation advances.
-func (s *Stack) Dial(remote netem.Addr) *Conn {
-	local := netem.Addr{IP: s.iface.IP(), Port: s.allocPort()}
+// simulation advances. It returns ErrPortExhausted (wrapped) when every
+// ephemeral port is busy, so a long-lived client degrades gracefully
+// instead of crashing.
+func (s *Stack) Dial(remote netem.Addr) (*Conn, error) {
+	port, err := s.allocPort()
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", remote, err)
+	}
+	local := netem.Addr{IP: s.iface.IP(), Port: port}
 	c := newConn(s, local, remote, true)
 	s.conns[fourTuple{local: local, remote: remote}] = c
 	c.sendSYN()
+	return c, nil
+}
+
+// MustDial is Dial for sim-world construction paths; it panics on error.
+func (s *Stack) MustDial(remote netem.Addr) *Conn {
+	c, err := s.Dial(remote)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -336,9 +382,10 @@ const ephemeralBase = 49152
 // is what real ephemeral allocators do. The in-use test scans the conns
 // map, which at simulation scale is far cheaper than maintaining a
 // per-port refcount on every dial and teardown. If every ephemeral port is
-// busy the host is irrecoverably leaking connections, so fail loudly
-// rather than loop forever.
-func (s *Stack) allocPort() uint16 {
+// busy the host has more live flows than the range holds; that is an
+// operational condition a real host survives (connect() fails with
+// EADDRNOTAVAIL), so report it as an error rather than crash.
+func (s *Stack) allocPort() (uint16, error) {
 	for tries := 0; tries < 1<<14; tries++ {
 		p := s.nextPort
 		s.nextPort++
@@ -351,9 +398,9 @@ func (s *Stack) allocPort() uint16 {
 		if s.portInUse(p) {
 			continue
 		}
-		return p
+		return p, nil
 	}
-	panic("tcp: ephemeral port space exhausted")
+	return 0, ErrPortExhausted
 }
 
 // portInUse reports whether any live connection occupies local port p.

@@ -44,8 +44,8 @@ func (w *testWorld) wirelessHost(ip netem.IP, cfg netem.WirelessConfig) (*Stack,
 // the simulation establishes them.
 func connect(t *testing.T, w *testWorld, a, b *Stack, port uint16) (client, server *Conn) {
 	t.Helper()
-	b.Listen(port, func(c *Conn) { server = c })
-	client = a.Dial(netem.Addr{IP: b.Iface().IP(), Port: port})
+	b.MustListen(port, func(c *Conn) { server = c })
+	client = a.MustDial(netem.Addr{IP: b.Iface().IP(), Port: port})
 	w.engine.RunFor(2 * time.Second)
 	if client.State() != StateEstablished {
 		t.Fatalf("client state = %v, want established", client.State())
@@ -60,10 +60,10 @@ func TestHandshake(t *testing.T) {
 	w := newWorld(1)
 	a, b := w.wiredHost(1), w.wiredHost(2)
 	var clientUp, serverUp bool
-	b.Listen(80, func(c *Conn) {
+	b.MustListen(80, func(c *Conn) {
 		c.OnEstablished = func() { serverUp = true }
 	})
-	c := a.Dial(netem.Addr{IP: 2, Port: 80})
+	c := a.MustDial(netem.Addr{IP: 2, Port: 80})
 	c.OnEstablished = func() { clientUp = true }
 	w.engine.RunFor(time.Second)
 	if !clientUp || !serverUp {
@@ -79,7 +79,7 @@ func TestDialRefusedByRST(t *testing.T) {
 	sa, sb := w.wiredHost(1), w.wiredHost(2)
 	_ = sb // host exists but nothing listens on the port
 	var gotErr error
-	c := sa.Dial(netem.Addr{IP: 2, Port: 81})
+	c := sa.MustDial(netem.Addr{IP: 2, Port: 81})
 	c.OnClose = func(err error) { gotErr = err }
 	w.engine.RunFor(time.Second)
 	if !errors.Is(gotErr, ErrReset) {
@@ -91,7 +91,7 @@ func TestDialBlackholeTimesOut(t *testing.T) {
 	w := newWorld(1)
 	sa := w.wiredHost(1)
 	var gotErr error
-	c := sa.Dial(netem.Addr{IP: 99, Port: 80}) // nobody home
+	c := sa.MustDial(netem.Addr{IP: 99, Port: 80}) // nobody home
 	c.OnClose = func(err error) { gotErr = err }
 	w.engine.RunFor(10 * time.Minute)
 	if !errors.Is(gotErr, ErrTimeout) {

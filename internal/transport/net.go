@@ -1,0 +1,745 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/wp2p/wp2p/internal/netem"
+	"github.com/wp2p/wp2p/internal/sim"
+)
+
+// The net backend carries protocol traffic over real OS sockets on
+// loopback. Each virtual host keeps the netem.Addr identity the protocols
+// were written against; a per-group directory maps virtual listen addresses
+// to the real 127.0.0.1:<ephemeral> sockets behind them.
+//
+// Concurrency model: every protocol callback runs on the group's single run
+// loop goroutine, which also pumps the shared sim.Engine against the wall
+// clock — so protocol timers (choke intervals, tracker re-announce, RTO-ish
+// application timeouts) fire live with the same code paths the simulation
+// uses, and protocol state needs no locks on either backend. Socket reader
+// and writer goroutines never touch protocol state directly; they post
+// closures into the loop.
+//
+// Stream realisation: the modelled stack counts payload bytes instead of
+// storing them, so the net backend frames each SendMessage/Write as a small
+// header plus zero padding sized to the declared wire length — live runs
+// push real bytes through real TCP with the modelled traffic shape. The
+// framed application values themselves travel through an in-process
+// mailbox keyed by (connID, direction, seq); the byte stream carries their
+// length and ordering. (A cross-process deployment would swap the mailbox
+// for a codec at this one seam.)
+
+// Wire framing constants.
+const (
+	helloMagic = 0x77503250 // "wP2P"
+	helloLen   = 19         // magic(4) ver(1) ip(4) port(2) connID(8)
+	frameHdr   = 13         // kind(1) seq(8) len(4)
+
+	kindMsg byte = 1 // framed application message, len = modelled wireLen
+	kindRaw byte = 2 // raw Write bytes, len = count
+
+	// deliverChunk bounds how many padding bytes collapse into one
+	// OnDeliver callback, so multi-megabyte frames report streaming
+	// progress instead of one burst.
+	deliverChunk = 256 << 10
+)
+
+// dialTimeout bounds a live connect attempt; mapErr turns its expiry into
+// ErrTimeout, matching the sim's retransmission-limit semantics.
+const dialTimeout = 5 * time.Second
+
+// mapErr folds OS socket errors onto the transport error contract.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return ErrReset
+	case errors.Is(err, net.ErrClosed):
+		return ErrClosed
+	case os.IsTimeout(err):
+		return ErrTimeout
+	default:
+		return err
+	}
+}
+
+// Group is a set of virtual hosts sharing one loopback address directory,
+// one sim.Engine, and one run loop. It is the net-backend analogue of a
+// simulated world.
+type Group struct {
+	engine *sim.Engine
+	start  time.Time
+
+	inject  chan func()
+	done    chan struct{} // closed by Close: loop should exit
+	stopped chan struct{} // closed by the loop on exit
+	once    sync.Once
+
+	// hostMu guards only the hosts map: Host may be called from any
+	// goroutine, including loop callbacks.
+	hostMu sync.Mutex
+	hosts  map[netem.IP]*Net
+
+	// Loop-goroutine state (no locks: only the run loop touches these).
+	dir        map[netem.Addr]string // virtual listen addr -> real host:port
+	conns      map[*netConn]struct{} // both endpoints of a pair share a connID
+	vals       map[valKey]any
+	nextConnID uint64
+}
+
+type valKey struct {
+	connID uint64
+	dir    byte
+	seq    uint64
+}
+
+// NewGroup starts a run loop around a fresh engine seeded with seed.
+func NewGroup(seed int64) *Group {
+	g := &Group{
+		engine:  sim.NewEngine(sim.WithSeed(seed)),
+		start:   time.Now(),
+		inject:  make(chan func(), 1024),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		dir:     make(map[netem.Addr]string),
+		hosts:   make(map[netem.IP]*Net),
+		conns:   make(map[*netConn]struct{}),
+		vals:    make(map[valKey]any),
+	}
+	go g.loop()
+	return g
+}
+
+// loop is the single goroutine on which the engine advances and every
+// protocol callback runs.
+func (g *Group) loop() {
+	defer close(g.stopped)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case fn := <-g.inject:
+			g.engine.RunUntil(time.Since(g.start))
+			fn()
+		case <-tick.C:
+			g.engine.RunUntil(time.Since(g.start))
+		}
+	}
+}
+
+// post queues fn onto the run loop from a socket goroutine. Posts from the
+// same goroutine execute in order.
+func (g *Group) post(fn func()) {
+	select {
+	case g.inject <- fn:
+	case <-g.done:
+	}
+}
+
+// Do runs fn on the loop goroutine and waits for it — the way tests and
+// drivers construct protocol state and inspect it safely. It must not be
+// called from inside a callback (which already runs on the loop).
+func (g *Group) Do(fn func()) {
+	ran := make(chan struct{})
+	select {
+	case g.inject <- func() { fn(); close(ran) }:
+		select {
+		case <-ran:
+		case <-g.stopped:
+		}
+	case <-g.stopped:
+	}
+}
+
+// Engine returns the shared engine. Touch it only from inside Do or a
+// protocol callback.
+func (g *Group) Engine() *sim.Engine { return g.engine }
+
+// Host returns the transport endpoint for a virtual IP, creating it on
+// first use. Safe from any goroutine, including loop callbacks.
+func (g *Group) Host(ip netem.IP) *Net {
+	g.hostMu.Lock()
+	defer g.hostMu.Unlock()
+	if h, ok := g.hosts[ip]; ok {
+		return h
+	}
+	t := &Net{
+		group:     g,
+		ip:        ip,
+		nextPort:  ephemeralBase,
+		inUse:     make(map[uint16]bool),
+		listeners: make(map[uint16]*netListener),
+	}
+	g.hosts[ip] = t
+	return t
+}
+
+// Close aborts every live connection and listener and stops the run loop.
+func (g *Group) Close() {
+	g.Do(func() {
+		for c := range g.conns {
+			c.Abort()
+		}
+		g.hostMu.Lock()
+		hosts := make([]*Net, 0, len(g.hosts))
+		for _, h := range g.hosts {
+			hosts = append(hosts, h)
+		}
+		g.hostMu.Unlock()
+		for _, h := range hosts {
+			for _, l := range h.listeners {
+				l.Close()
+			}
+		}
+	})
+	g.once.Do(func() { close(g.done) })
+	<-g.stopped
+}
+
+// ephemeralBase mirrors the modelled stack's IANA dynamic range.
+const ephemeralBase = 49152
+
+// Net is one virtual host's real-socket transport (Interface).
+type Net struct {
+	group *Group
+	ip    netem.IP
+
+	// Loop-goroutine state.
+	nextPort  uint16
+	inUse     map[uint16]bool
+	listeners map[uint16]*netListener
+}
+
+// Engine returns the group's engine.
+func (t *Net) Engine() *sim.Engine { return t.group.engine }
+
+// Addr returns the host's virtual address with the given port.
+func (t *Net) Addr(port uint16) netem.Addr { return netem.Addr{IP: t.ip, Port: port} }
+
+// allocPort mirrors tcp.Stack.allocPort on the virtual port space: skip
+// listeners and ports held by live conns; surface exhaustion as an error.
+func (t *Net) allocPort() (uint16, error) {
+	for tries := 0; tries < 1<<14; tries++ {
+		p := t.nextPort
+		t.nextPort++
+		if t.nextPort < ephemeralBase {
+			t.nextPort = ephemeralBase
+		}
+		if _, taken := t.listeners[p]; taken {
+			continue
+		}
+		if t.inUse[p] {
+			continue
+		}
+		return p, nil
+	}
+	return 0, ErrPortExhausted
+}
+
+// Listen binds the virtual port, backed by a fresh real loopback listener.
+func (t *Net) Listen(port uint16, onAccept func(Conn)) (Listener, error) {
+	vaddr := netem.Addr{IP: t.ip, Port: port}
+	if _, taken := t.group.dir[vaddr]; taken {
+		return nil, fmt.Errorf("transport: listen %s: %w", vaddr, ErrAddrInUse)
+	}
+	real, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", vaddr, mapErr(err))
+	}
+	l := &netListener{host: t, port: port, real: real, onAccept: onAccept}
+	t.group.dir[vaddr] = real.Addr().String()
+	t.listeners[port] = l
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Dial opens a connection to a remote virtual address. The connect runs on
+// its own goroutine; failures arrive through OnClose exactly as the sim
+// backend reports them (refused -> ErrReset, unreachable -> ErrTimeout).
+func (t *Net) Dial(remote netem.Addr) (Conn, error) {
+	port, err := t.allocPort()
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", remote, err)
+	}
+	local := netem.Addr{IP: t.ip, Port: port}
+	t.inUse[port] = true
+	c := newNetConn(t, local, remote, true)
+	real, ok := t.group.dir[remote]
+	if !ok {
+		// No listener directory entry: the virtual host refuses, like the
+		// sim stack's RST to an unbound port. Deliver asynchronously so the
+		// caller can set OnClose first.
+		t.group.engine.Schedule(0, func() { c.teardown(ErrReset) })
+		return c, nil
+	}
+	go c.runDial(real)
+	return c, nil
+}
+
+// netListener accepts real connections for one virtual port.
+type netListener struct {
+	host     *Net
+	port     uint16
+	real     net.Listener
+	onAccept func(Conn)
+	closed   bool // loop-goroutine state
+}
+
+// Port returns the bound virtual port.
+func (l *netListener) Port() uint16 { return l.port }
+
+// Close unbinds the virtual port and closes the real socket. A handshake
+// already in flight is refused with a RST once it reaches the loop — the
+// stale onAccept can never run (the regression contract shared with the
+// sim backend).
+func (l *netListener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	vaddr := netem.Addr{IP: l.host.ip, Port: l.port}
+	if l.host.group.dir[vaddr] == l.real.Addr().String() {
+		delete(l.host.group.dir, vaddr)
+	}
+	if l.host.listeners[l.port] == l {
+		delete(l.host.listeners, l.port)
+	}
+	l.real.Close()
+}
+
+func (l *netListener) acceptLoop() {
+	for {
+		sock, err := l.real.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go l.handshake(sock)
+	}
+}
+
+// handshake reads the dialer's hello off the fresh socket, then hands the
+// connection to the loop for acceptance.
+func (l *netListener) handshake(sock net.Conn) {
+	var buf [helloLen]byte
+	sock.SetReadDeadline(time.Now().Add(dialTimeout))
+	if _, err := io.ReadFull(sock, buf[:]); err != nil ||
+		binary.BigEndian.Uint32(buf[0:4]) != helloMagic || buf[4] != 1 {
+		rstClose(sock)
+		return
+	}
+	sock.SetReadDeadline(time.Time{})
+	remote := netem.Addr{
+		IP:   netem.IP(binary.BigEndian.Uint32(buf[5:9])),
+		Port: binary.BigEndian.Uint16(buf[9:11]),
+	}
+	connID := binary.BigEndian.Uint64(buf[11:19])
+	l.host.group.post(func() { l.accept(sock, remote, connID) })
+}
+
+// accept (loop goroutine) delivers one handshaken socket to the
+// application, or refuses it if the listener closed while it was in flight.
+func (l *netListener) accept(sock net.Conn, remote netem.Addr, connID uint64) {
+	if l.closed {
+		rstClose(sock)
+		return
+	}
+	local := netem.Addr{IP: l.host.ip, Port: l.port}
+	c := newNetConn(l.host, local, remote, false)
+	c.id = connID
+	c.attach(sock)
+	if l.onAccept != nil {
+		l.onAccept(c)
+	}
+	if !c.closed && c.onEstablished != nil {
+		c.onEstablished()
+	}
+}
+
+// rstClose refuses a socket with a RST (linger 0) rather than a clean FIN,
+// so the dialer observes ErrReset — the same refusal the sim stack sends.
+func rstClose(sock net.Conn) {
+	if tc, ok := sock.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	sock.Close()
+}
+
+// frame is one queued wire unit awaiting the writer goroutine.
+type frame struct {
+	kind  byte
+	seq   uint64
+	n     int
+	close bool // graceful half-close sentinel
+}
+
+// netConn is one endpoint of a real-socket connection.
+type netConn struct {
+	host   *Net
+	local  netem.Addr
+	remote netem.Addr
+	id     uint64
+	dirOut byte // mailbox direction tag for frames we send
+
+	// Loop-goroutine state.
+	onEstablished func()
+	onDeliver     func(int)
+	onMessage     func(any)
+	onClose       func(error)
+	onWritable    func()
+	closed        bool
+	sendSeq       uint64
+
+	// Shared state.
+	buffered atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []frame
+	sock    net.Conn
+	aborted bool
+	ended   bool // Close or Abort queued; no further frames
+}
+
+func newNetConn(t *Net, local, remote netem.Addr, active bool) *netConn {
+	c := &netConn{host: t, local: local, remote: remote}
+	c.cond = sync.NewCond(&c.mu)
+	if active {
+		t.group.nextConnID++
+		c.id = t.group.nextConnID
+		c.dirOut = 0 // dialer -> acceptor
+	} else {
+		c.dirOut = 1 // acceptor -> dialer (id assigned from the hello)
+	}
+	t.group.conns[c] = struct{}{}
+	return c
+}
+
+// runDial performs the live connect and hello on a dedicated goroutine.
+func (c *netConn) runDial(realAddr string) {
+	sock, err := net.DialTimeout("tcp", realAddr, dialTimeout)
+	if err != nil {
+		c.host.group.post(func() { c.teardown(mapErr(err)) })
+		return
+	}
+	var hello [helloLen]byte
+	binary.BigEndian.PutUint32(hello[0:4], helloMagic)
+	hello[4] = 1
+	binary.BigEndian.PutUint32(hello[5:9], uint32(c.local.IP))
+	binary.BigEndian.PutUint16(hello[9:11], c.local.Port)
+	binary.BigEndian.PutUint64(hello[11:19], c.id)
+	if _, err := sock.Write(hello[:]); err != nil {
+		rstClose(sock)
+		c.host.group.post(func() { c.teardown(mapErr(err)) })
+		return
+	}
+	c.host.group.post(func() {
+		c.attach(sock)
+		if !c.closed && c.onEstablished != nil {
+			c.onEstablished()
+		}
+	})
+}
+
+// attach (loop goroutine) wires the live socket to the reader and writer
+// goroutines, unless the conn was already torn down while connecting.
+func (c *netConn) attach(sock net.Conn) {
+	if tc, ok := sock.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c.mu.Lock()
+	if c.aborted || c.closed {
+		c.mu.Unlock()
+		rstClose(sock)
+		return
+	}
+	c.sock = sock
+	c.mu.Unlock()
+	go c.runWriter(sock)
+	go c.runReader(sock)
+}
+
+// LocalAddr returns the virtual local address.
+func (c *netConn) LocalAddr() netem.Addr { return c.local }
+
+// RemoteAddr returns the virtual remote address.
+func (c *netConn) RemoteAddr() netem.Addr { return c.remote }
+
+// Callback setters (loop goroutine).
+func (c *netConn) SetOnEstablished(fn func())    { c.onEstablished = fn }
+func (c *netConn) SetOnDeliver(fn func(n int))   { c.onDeliver = fn }
+func (c *netConn) SetOnMessage(fn func(val any)) { c.onMessage = fn }
+func (c *netConn) SetOnClose(fn func(err error)) { c.onClose = fn }
+func (c *netConn) SetOnWritable(fn func())       { c.onWritable = fn }
+
+// Buffered returns the bytes queued locally and not yet flushed to the
+// kernel — the net backend's backpressure signal.
+func (c *netConn) Buffered() int64 { return c.buffered.Load() }
+
+// Write queues n raw payload bytes.
+func (c *netConn) Write(n int) {
+	if n <= 0 || c.closed {
+		return
+	}
+	c.buffered.Add(int64(n))
+	c.enqueue(frame{kind: kindRaw, n: n})
+}
+
+// SendMessage frames an application value occupying wireLen stream bytes.
+// The value travels through the group mailbox; the socket carries its
+// length, ordering, and padding.
+func (c *netConn) SendMessage(val any, wireLen int) {
+	if c.closed {
+		return
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	c.host.group.vals[valKey{c.id, c.dirOut, seq}] = val
+	if wireLen < frameHdr {
+		wireLen = frameHdr
+	}
+	c.buffered.Add(int64(wireLen))
+	c.enqueue(frame{kind: kindMsg, seq: seq, n: wireLen})
+}
+
+func (c *netConn) enqueue(f frame) {
+	c.mu.Lock()
+	if !c.ended {
+		c.queue = append(c.queue, f)
+		if f.close {
+			c.ended = true
+		}
+		c.cond.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// Close ends the stream gracefully: queued frames flush, the real socket
+// half-closes, the local side observes ErrClosed and the peer drains the
+// stream to EOF and observes nil.
+func (c *netConn) Close() {
+	if c.closed {
+		return
+	}
+	c.enqueue(frame{close: true})
+	c.teardown(ErrClosed)
+}
+
+// Abort tears the connection down immediately with a RST: local ErrClosed,
+// peer ErrReset — the sim stack's Abort contract.
+func (c *netConn) Abort() {
+	if c.closed {
+		return
+	}
+	c.mu.Lock()
+	c.aborted = true
+	c.ended = true
+	c.queue = nil
+	if c.sock != nil {
+		rstClose(c.sock)
+	}
+	c.cond.Signal()
+	c.mu.Unlock()
+	c.teardown(ErrClosed)
+}
+
+// teardown (loop goroutine) finalises the conn exactly once and fires
+// OnClose.
+func (c *netConn) teardown(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.host.group.conns, c)
+	// Only in-flight values *addressed to us* are garbage now; the peer
+	// endpoint may still drain what we already sent it.
+	for k := range c.host.group.vals {
+		if k.connID == c.id && k.dir != c.dirOut {
+			delete(c.host.group.vals, k)
+		}
+	}
+	if c.host.inUse[c.local.Port] {
+		delete(c.host.inUse, c.local.Port)
+	}
+	if c.onClose != nil {
+		c.onClose(err)
+	}
+}
+
+// zeroPad is the shared padding source for frame bodies.
+var zeroPad [64 << 10]byte
+
+// runWriter drains the frame queue onto the socket.
+func (c *netConn) runWriter(sock net.Conn) {
+	var hdr [frameHdr]byte
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.aborted {
+			if c.ended {
+				c.mu.Unlock()
+				if tc, ok := sock.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+			c.cond.Wait()
+		}
+		if c.aborted {
+			c.mu.Unlock()
+			return
+		}
+		f := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+
+		if f.close {
+			if tc, ok := sock.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+		hdr[0] = f.kind
+		binary.BigEndian.PutUint64(hdr[1:9], f.seq)
+		binary.BigEndian.PutUint32(hdr[9:13], uint32(f.n))
+		if _, err := sock.Write(hdr[:]); err != nil {
+			c.writerFailed(mapErr(err))
+			return
+		}
+		for pad := f.n - frameHdr; pad > 0; {
+			chunk := pad
+			if chunk > len(zeroPad) {
+				chunk = len(zeroPad)
+			}
+			if _, err := sock.Write(zeroPad[:chunk]); err != nil {
+				c.writerFailed(mapErr(err))
+				return
+			}
+			pad -= chunk
+		}
+		c.buffered.Add(int64(-f.n))
+		c.host.group.post(func() {
+			if !c.closed && c.onWritable != nil {
+				c.onWritable()
+			}
+		})
+	}
+}
+
+func (c *netConn) writerFailed(err error) {
+	c.host.group.post(func() { c.teardown(err) })
+}
+
+// runReader parses inbound frames and posts deliveries to the loop.
+func (c *netConn) runReader(sock net.Conn) {
+	var hdr [frameHdr]byte
+	for {
+		if _, err := io.ReadFull(sock, hdr[:]); err != nil {
+			c.readerDone(err)
+			return
+		}
+		kind := hdr[0]
+		seq := binary.BigEndian.Uint64(hdr[1:9])
+		n := int(binary.BigEndian.Uint32(hdr[9:13]))
+		if kind != kindMsg && kind != kindRaw {
+			c.readerDone(syscall.EPIPE)
+			return
+		}
+		// Stream the body: the header's real bytes count toward the frame's
+		// modelled n, then padding drains in bounded chunks so large frames
+		// report incremental OnDeliver progress like the modelled stack
+		// does. The reported increments always sum to exactly n.
+		padding := n - frameHdr
+		if padding < 0 {
+			padding = 0
+		}
+		reported := 0
+		consumed := frameHdr
+		for padding > 0 {
+			chunk := min(padding, deliverChunk)
+			if _, err := io.CopyN(io.Discard, sock, int64(chunk)); err != nil {
+				c.readerDone(err)
+				return
+			}
+			consumed += chunk
+			padding -= chunk
+			if padding > 0 {
+				inc := min(consumed, n) - reported
+				reported += inc
+				c.host.group.post(func() { c.deliver(inc) })
+			}
+		}
+		final := n - reported
+		isMsg := kind == kindMsg
+		c.host.group.post(func() {
+			c.deliver(final)
+			if isMsg {
+				c.deliverMsg(seq)
+			}
+		})
+	}
+}
+
+// deliver (loop goroutine) reports in-order payload progress.
+func (c *netConn) deliver(n int) {
+	if c.closed || n <= 0 {
+		return
+	}
+	if c.onDeliver != nil {
+		c.onDeliver(n)
+	}
+}
+
+// deliverMsg (loop goroutine) pops the framed value from the mailbox and
+// fires OnMessage. Frames we receive carry the peer's direction tag.
+func (c *netConn) deliverMsg(seq uint64) {
+	key := valKey{c.id, 1 - c.dirOut, seq}
+	val, ok := c.host.group.vals[key]
+	if !ok {
+		return
+	}
+	delete(c.host.group.vals, key)
+	if c.closed {
+		return
+	}
+	if c.onMessage != nil {
+		c.onMessage(val)
+	}
+}
+
+// readerDone maps the terminal read state: EOF after the peer's clean
+// half-close means the stream ended (nil); anything else maps onto the
+// error contract.
+func (c *netConn) readerDone(err error) {
+	mapped := mapErr(err)
+	if errors.Is(err, io.EOF) {
+		mapped = nil
+	}
+	c.host.group.post(func() { c.teardown(mapped) })
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Interface-satisfaction pins for the net backend.
+var (
+	_ Interface = (*Net)(nil)
+	_ Conn      = (*netConn)(nil)
+	_ Listener  = (*netListener)(nil)
+)

@@ -213,10 +213,10 @@ func TestAMFlowStateEvictedOnConnClose(t *testing.T) {
 	f.Install(mobIface)
 	f.Track(mobStack)
 
-	mobStack.Listen(80, func(c *tcp.Conn) { c.Write(32 * 1024) })
+	mobStack.MustListen(80, func(c *tcp.Conn) { c.Write(32 * 1024) })
 	peak := 0
 	for i := 0; i < 8; i++ {
-		c := fixedStack.Dial(netem.Addr{IP: 1, Port: 80})
+		c := fixedStack.MustDial(netem.Addr{IP: 1, Port: 80})
 		c.Write(32 * 1024) // bidirectional: the mobile's ACKs piggyback on data
 		e.RunFor(5 * time.Second)
 		if got := f.Stats().Flows; got > peak {
@@ -250,8 +250,8 @@ func TestAMEndToEndImprovesLossyYoungFlow(t *testing.T) {
 			NewAMFilter(e, AMConfig{}).Install(mobIface)
 		}
 		var server *tcp.Conn
-		fixedStack.Listen(80, func(c *tcp.Conn) { server = c })
-		client := mobStack.Dial(netem.Addr{IP: 2, Port: 80})
+		fixedStack.MustListen(80, func(c *tcp.Conn) { server = c })
+		client := mobStack.MustDial(netem.Addr{IP: 2, Port: 80})
 		e.RunFor(2 * time.Second)
 		if server == nil {
 			t.Fatal("no connection")

@@ -4,6 +4,7 @@ import (
 	"github.com/wp2p/wp2p/internal/bt"
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // IdentityStore persists peer-ids per swarm, implementing IA's identity
@@ -86,14 +87,22 @@ type Client struct {
 	identities *IdentityStore
 }
 
-// New assembles a wP2P client. The BT config must carry Stack, Torrent, and
-// Tracker, as for bt.NewClient.
+// New assembles a wP2P client. The BT config must carry Transport, Torrent,
+// and Tracker, as for bt.NewClient. AM and RR operate on the simulated
+// packet interface, so they require a transport backed by the modelled
+// stack (transport.Sim); enabling them on any other backend panics.
 func New(cfg Config) *Client {
-	if cfg.BT.Stack == nil {
-		panic("wp2p: Config.BT.Stack is required")
+	if cfg.BT.Transport == nil {
+		panic("wp2p: Config.BT.Transport is required")
 	}
-	engine := cfg.BT.Stack.Engine()
-	iface := cfg.BT.Stack.Iface()
+	engine := cfg.BT.Transport.Engine()
+	var iface *netem.Iface
+	if p, ok := cfg.BT.Transport.(transport.IfaceProvider); ok {
+		iface = p.Iface()
+	}
+	if iface == nil && (cfg.AM != nil || cfg.RR != nil) {
+		panic("wp2p: AM and RR are packet-level (sim-only) components and need a transport.IfaceProvider backend")
+	}
 
 	c := &Client{
 		engine:     engine,
@@ -124,7 +133,9 @@ func New(cfg Config) *Client {
 	if cfg.AM != nil {
 		c.am = NewAMFilter(engine, *cfg.AM)
 		c.am.Install(iface)
-		c.am.Track(cfg.BT.Stack)
+		if sp, ok := cfg.BT.Transport.(transport.StackProvider); ok {
+			c.am.Track(sp.Stack())
+		}
 	}
 	if cfg.LIHD != nil {
 		c.lihd = NewLIHD(engine, cfg.BT.UploadLimiter, c.BT, *cfg.LIHD)
@@ -138,14 +149,17 @@ func New(cfg Config) *Client {
 }
 
 // Start joins the swarm and starts every enabled component.
-func (c *Client) Start() {
-	c.BT.Start()
+func (c *Client) Start() error {
+	if err := c.BT.Start(); err != nil {
+		return err
+	}
 	if c.lihd != nil {
 		c.lihd.Start()
 	}
 	if c.rr != nil {
 		c.rr.Start()
 	}
+	return nil
 }
 
 // Stop leaves the swarm and stops every enabled component.

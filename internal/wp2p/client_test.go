@@ -9,6 +9,7 @@ import (
 	"github.com/wp2p/wp2p/internal/netem"
 	"github.com/wp2p/wp2p/internal/sim"
 	"github.com/wp2p/wp2p/internal/tcp"
+	"github.com/wp2p/wp2p/internal/transport"
 )
 
 // env is a minimal swarm world for wp2p integration tests.
@@ -51,12 +52,12 @@ func (v *env) wireless(cfg netem.WirelessConfig) *tcp.Stack {
 }
 
 func (v *env) btCfg(stack *tcp.Stack) bt.Config {
-	return bt.Config{Stack: stack, Torrent: v.torrent, Tracker: v.tracker}
+	return bt.Config{Transport: transport.NewSim(stack), Torrent: v.torrent, Tracker: v.tracker}
 }
 
 func TestWP2PClientCompletesDownload(t *testing.T) {
 	v := newEnv(1, 512*1024, 64*1024)
-	seed := bt.NewClient(bt.Config{Stack: v.wired(), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
+	seed := bt.NewClient(bt.Config{Transport: transport.NewSim(v.wired()), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
 	seed.Start()
 
 	c := New(Config{
@@ -90,7 +91,7 @@ func TestWP2PDisabledComponentsAreNil(t *testing.T) {
 
 func TestWP2PIdentityRetentionAcrossAddressChange(t *testing.T) {
 	v := newEnv(3, 512*1024, 64*1024)
-	seed := bt.NewClient(bt.Config{Stack: v.wired(), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
+	seed := bt.NewClient(bt.Config{Transport: transport.NewSim(v.wired()), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
 	seed.Start()
 	stack := v.wired()
 	c := New(Config{BT: v.btCfg(stack), RetainIdentity: true})
@@ -134,7 +135,7 @@ func TestWP2PIdentityStoreSharedAcrossRebuilds(t *testing.T) {
 
 func TestRoleReversalDetectsAddressChange(t *testing.T) {
 	v := newEnv(6, 512*1024, 64*1024)
-	seed := bt.NewClient(bt.Config{Stack: v.wired(), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
+	seed := bt.NewClient(bt.Config{Transport: transport.NewSim(v.wired()), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
 	seed.Start()
 	stack := v.wired()
 	c := New(Config{
@@ -167,7 +168,7 @@ func TestRoleReversalDetectsAddressChange(t *testing.T) {
 func TestRoleReversalDeadPeersTriggersRedial(t *testing.T) {
 	v := newEnv(7, 512*1024, 64*1024)
 	seedStack := v.wired()
-	seed := bt.NewClient(bt.Config{Stack: seedStack, Torrent: v.torrent, Tracker: v.tracker, Seed: true})
+	seed := bt.NewClient(bt.Config{Transport: transport.NewSim(seedStack), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
 	seed.Start()
 	c := New(Config{
 		BT: v.btCfg(v.wired()),
@@ -188,7 +189,7 @@ func TestRoleReversalDeadPeersTriggersRedial(t *testing.T) {
 
 func TestWP2PUnderPeriodicHandoffsCompletes(t *testing.T) {
 	v := newEnv(8, 1024*1024, 64*1024)
-	seed := bt.NewClient(bt.Config{Stack: v.wired(), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
+	seed := bt.NewClient(bt.Config{Transport: transport.NewSim(v.wired()), Torrent: v.torrent, Tracker: v.tracker, Seed: true})
 	seed.Start()
 	stack := v.wired()
 	c := New(Config{
@@ -208,10 +209,10 @@ func TestWP2PUnderPeriodicHandoffsCompletes(t *testing.T) {
 	}
 }
 
-func TestWP2PPanicsWithoutStack(t *testing.T) {
+func TestWP2PPanicsWithoutTransport(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("missing stack did not panic")
+			t.Error("missing transport did not panic")
 		}
 	}()
 	New(Config{})
